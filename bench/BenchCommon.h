@@ -1,0 +1,91 @@
+//===- bench/BenchCommon.h - Shared bench harness helpers ------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure/table bench binaries: trial counts, the
+/// paper's approximate reference values (read off its figures) for
+/// side-by-side printing, and small formatting utilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_BENCH_BENCHCOMMON_H
+#define HALO_BENCH_BENCHCOMMON_H
+
+#include "eval/Evaluation.h"
+#include "eval/Report.h"
+#include "support/Format.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace halo {
+namespace bench {
+
+/// Trials per configuration. The paper runs 11 and reports medians; the
+/// simulator is deterministic per seed, so a handful of seeds suffices.
+/// Override with HALO_BENCH_TRIALS.
+inline int trials() {
+  if (const char *Env = std::getenv("HALO_BENCH_TRIALS"))
+    return std::max(1, std::atoi(Env));
+  return 3;
+}
+
+/// Paper reference values, read off Figures 13/14 (approximate, in
+/// percent). Order matches workloadNames().
+struct PaperRow {
+  double HdsMiss, HaloMiss, HdsSpeed, HaloSpeed;
+};
+
+inline PaperRow paperFigures(const std::string &Benchmark) {
+  if (Benchmark == "health")
+    return {17, 20, 21, 28};
+  if (Benchmark == "ft")
+    return {12, 14, 8, 10};
+  if (Benchmark == "analyzer")
+    return {9, 10, 6, 7};
+  if (Benchmark == "ammp")
+    return {10, 12, 8, 10};
+  if (Benchmark == "art")
+    return {15, 18, 10, 13};
+  if (Benchmark == "equake")
+    return {8, 10, 6, 8};
+  if (Benchmark == "povray")
+    return {2, 10, 0, 1};
+  if (Benchmark == "omnetpp")
+    return {0, 8, 0, 4};
+  if (Benchmark == "xalanc")
+    return {1, 18, 0, 16};
+  if (Benchmark == "leela")
+    return {2, 10, 0, 1};
+  if (Benchmark == "roms")
+    return {-3, 0, -1, 0};
+  return {0, 0, 0, 0};
+}
+
+/// Table 1 of the paper (exact values).
+struct PaperFragRow {
+  const char *Benchmark;
+  double Percent;
+  const char *Bytes;
+};
+
+inline const std::vector<PaperFragRow> &paperTable1() {
+  static const std::vector<PaperFragRow> Rows = {
+      {"health", 0.01, "31.98KiB"}, {"equake", 0.05, "12.08KiB"},
+      {"analyzer", 0.13, "4.31KiB"}, {"ammp", 0.20, "40.97KiB"},
+      {"art", 0.62, "11.70KiB"},     {"ft", 2.06, "4.05KiB"},
+      {"povray", 26.47, "37.06KiB"}, {"roms", 93.60, "29.95KiB"},
+      {"leela", 99.99, "2.05MiB"}};
+  return Rows;
+}
+
+} // namespace bench
+} // namespace halo
+
+#endif // HALO_BENCH_BENCHCOMMON_H

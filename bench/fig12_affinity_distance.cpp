@@ -1,0 +1,39 @@
+//===- bench/fig12_affinity_distance.cpp - Figure 12 --------------------------===//
+//
+// Regenerates Figure 12: "Time taken by omnetpp at various affinity
+// distances", with the unmodified-jemalloc median as the dashed baseline.
+// The paper selects A = 128 from this sweep as a good trade-off between
+// gains and profiling overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace halo;
+
+int main() {
+  Report R("Figure 12: omnetpp execution time vs affinity distance");
+  R.setColumns({"affinity distance", "median time (sim s)", "vs baseline"});
+
+  BenchmarkSetup Base = paperSetup("omnetpp");
+  Evaluation BaseEval(Base);
+  auto BaseRuns = BaseEval.measureTrials(AllocatorKind::Jemalloc, Scale::Ref,
+                                         bench::trials());
+  double BaseTime = Evaluation::medianSeconds(BaseRuns);
+
+  for (int Power = 3; Power <= 17; Power += 2) {
+    BenchmarkSetup Setup = paperSetup("omnetpp");
+    Setup.Halo.Profile.AffinityDistance = uint64_t(1) << Power;
+    Evaluation Eval(Setup);
+    auto Runs =
+        Eval.measureTrials(AllocatorKind::Halo, Scale::Ref, bench::trials());
+    double Time = Evaluation::medianSeconds(Runs);
+    R.addRow({"2^" + std::to_string(Power), formatDouble(Time, 4),
+              formatPercent(percentImprovement(BaseTime, Time))});
+  }
+  R.addRow({"baseline (jemalloc)", formatDouble(BaseTime, 4), "-"});
+  R.addNote("the paper picks A = 128 (2^7): good gains at low profiling "
+            "overhead; distances sweep 2^3..2^17 as in Figure 12");
+  R.print();
+  return 0;
+}

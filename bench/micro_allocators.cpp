@@ -1,0 +1,88 @@
+//===- bench/micro_allocators.cpp - Allocator micro-costs ---------------------===//
+//
+// google-benchmark microbenchmarks of the allocator implementations
+// themselves (host-time costs of the simulator's data structures, not
+// simulated cycles): size-class baseline, boundary-tag baseline, and
+// HALO's group allocator fast path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GroupAllocator.h"
+#include "mem/BoundaryTagAllocator.h"
+#include "mem/SizeClassAllocator.h"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+void sizeClassAllocFree(benchmark::State &State) {
+  SizeClassAllocator A;
+  std::vector<uint64_t> Addrs;
+  Addrs.reserve(1024);
+  for (auto _ : State) {
+    for (int I = 0; I < 1024; ++I)
+      Addrs.push_back(A.allocate(AllocRequest{32, 0}));
+    for (uint64_t Addr : Addrs)
+      A.deallocate(Addr);
+    Addrs.clear();
+  }
+  State.SetItemsProcessed(State.iterations() * 2048);
+}
+BENCHMARK(sizeClassAllocFree);
+
+void boundaryTagAllocFree(benchmark::State &State) {
+  BoundaryTagAllocator A;
+  std::vector<uint64_t> Addrs;
+  Addrs.reserve(1024);
+  for (auto _ : State) {
+    for (int I = 0; I < 1024; ++I)
+      Addrs.push_back(A.allocate(AllocRequest{32, 0}));
+    for (uint64_t Addr : Addrs)
+      A.deallocate(Addr);
+    Addrs.clear();
+  }
+  State.SetItemsProcessed(State.iterations() * 2048);
+}
+BENCHMARK(boundaryTagAllocFree);
+
+struct OneGroupPolicy : GroupPolicy {
+  int32_t selectGroup(const AllocRequest &) const override { return 0; }
+  uint32_t numGroups() const override { return 1; }
+};
+
+void groupAllocatorBumpPath(benchmark::State &State) {
+  SizeClassAllocator Backing;
+  OneGroupPolicy Policy;
+  GroupAllocator GA(Backing, Policy);
+  std::vector<uint64_t> Addrs;
+  Addrs.reserve(1024);
+  for (auto _ : State) {
+    for (int I = 0; I < 1024; ++I)
+      Addrs.push_back(GA.allocate(AllocRequest{32, 0}));
+    for (uint64_t Addr : Addrs)
+      GA.deallocate(Addr);
+    Addrs.clear();
+  }
+  State.SetItemsProcessed(State.iterations() * 2048);
+}
+BENCHMARK(groupAllocatorBumpPath);
+
+void selectorMatching(benchmark::State &State) {
+  GroupStateVector Vec(64);
+  Vec.set(3);
+  Vec.set(17);
+  CompiledSelector Sel;
+  Sel.Masks.push_back({(uint64_t(1) << 3) | (uint64_t(1) << 17)});
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Sel.matches(Vec));
+  }
+}
+BENCHMARK(selectorMatching);
+
+} // namespace
+
+BENCHMARK_MAIN();

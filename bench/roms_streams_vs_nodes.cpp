@@ -1,0 +1,49 @@
+//===- bench/roms_streams_vs_nodes.cpp - Section 5.2 representation claim -----===//
+//
+// Reproduces the Section 5.2 analysis of roms: "While HALO's affinity graph
+// can represent over 90% of all salient accesses in this program using only
+// 31 nodes, the hot-data-stream-based approach requires over 150,000
+// streams" -- object-level streams scatter context-level regularity, a
+// fundamental representation problem of [11].
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace halo;
+
+int main() {
+  Report R("Section 5.2: representation sizes on roms (test input)");
+  R.setColumns({"representation", "size", "covers"});
+
+  Evaluation Eval(paperSetup("roms"));
+  const HaloArtifacts &Halo = Eval.haloArtifacts();
+  const HdsArtifacts &Hds = Eval.hdsArtifacts();
+
+  R.addRow({"HALO affinity graph nodes",
+            std::to_string(Halo.Graph.numNodes()),
+            "90% of salient accesses"});
+  R.addRow({"HDS grammar rules",
+            std::to_string(Hds.Analysis.GrammarRules), "whole trace"});
+  R.addRow({"HDS candidate streams",
+            std::to_string(Hds.Analysis.CandidateStreams), "-"});
+  R.addRow({"HDS hot streams selected",
+            std::to_string(Hds.Analysis.Streams.size()),
+            "90% coverage target"});
+  R.addRow({"HDS trace length", std::to_string(Hds.Analysis.TraceLength),
+            "-"});
+  R.addNote("paper: 31 graph nodes vs >150,000 streams; the orders of "
+            "magnitude (tens vs many thousands) are the reproduced claim");
+  R.print();
+
+  // The same contrast on a prior-work benchmark, where both stay small.
+  Evaluation Health(paperSetup("health"));
+  Report R2("Same comparison on health (regular, HDS-friendly)");
+  R2.setColumns({"representation", "size"});
+  R2.addRow({"HALO affinity graph nodes",
+             std::to_string(Health.haloArtifacts().Graph.numNodes())});
+  R2.addRow({"HDS hot streams selected",
+             std::to_string(Health.hdsArtifacts().Analysis.Streams.size())});
+  R2.print();
+  return 0;
+}

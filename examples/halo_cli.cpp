@@ -1,0 +1,197 @@
+//===- examples/halo_cli.cpp - Artefact-style command-line driver --------------===//
+//
+// Mirrors the workflow of the paper's artefact (Appendix A.5): the halo
+// tool's `baseline`, `run`, and `plot` commands, which carry out baseline
+// and HALO-optimised runs for each workload and plot results. Run output
+// is JSON "containing the specific data points for each run" (A.6);
+// `plot` renders ASCII bar charts of the Figure 13/14 series. The
+// artefact's per-benchmark flags (A.8) are accepted too.
+//
+//   halo_cli baseline <benchmark> [--trials N]
+//   halo_cli run <benchmark> [--trials N] [--chunk-size BYTES]
+//            [--max-spare-chunks N] [--max-groups N] [--affinity-distance A]
+//   halo_cli hds <benchmark> [--trials N]
+//   halo_cli plot [benchmark...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Evaluation.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::string Benchmark;
+  std::vector<std::string> Benchmarks;
+  int Trials = 3;
+  uint64_t ChunkSize = 0;
+  int MaxSpareChunks = -1;
+  uint32_t MaxGroups = 0;
+  uint64_t AffinityDistance = 0;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: halo_cli <baseline|run|hds> <benchmark> [flags]\n"
+      "       halo_cli plot [benchmark...]\n"
+      "flags: --trials N  --chunk-size BYTES  --max-spare-chunks N\n"
+      "       --max-groups N  --affinity-distance BYTES\n"
+      "benchmarks:");
+  for (const std::string &Name : workloadNames())
+    std::fprintf(stderr, " %s", Name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(1);
+}
+
+CliOptions parseArgs(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (Argc < 2)
+    usage();
+  Opts.Command = Argv[1];
+  int I = 2;
+  if (Opts.Command != "plot") {
+    if (Argc < 3)
+      usage();
+    Opts.Benchmark = Argv[2];
+    I = 3;
+  }
+  for (; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage();
+      return Argv[++I];
+    };
+    if (Arg == "--trials")
+      Opts.Trials = std::atoi(Value());
+    else if (Arg == "--chunk-size")
+      Opts.ChunkSize = std::strtoull(Value(), nullptr, 10);
+    else if (Arg == "--max-spare-chunks")
+      Opts.MaxSpareChunks = std::atoi(Value());
+    else if (Arg == "--max-groups")
+      Opts.MaxGroups = static_cast<uint32_t>(std::atoi(Value()));
+    else if (Arg == "--affinity-distance")
+      Opts.AffinityDistance = std::strtoull(Value(), nullptr, 10);
+    else if (Arg[0] != '-')
+      Opts.Benchmarks.push_back(Arg);
+    else
+      usage();
+  }
+  return Opts;
+}
+
+BenchmarkSetup setupFor(const CliOptions &Opts) {
+  BenchmarkSetup Setup = paperSetup(Opts.Benchmark);
+  if (Opts.ChunkSize) {
+    Setup.Halo.Allocator.ChunkSize = Opts.ChunkSize;
+    Setup.Hds.Allocator.ChunkSize = Opts.ChunkSize;
+  }
+  if (Opts.MaxSpareChunks >= 0) {
+    Setup.Halo.Allocator.MaxSpareChunks = Opts.MaxSpareChunks;
+    Setup.Hds.Allocator.MaxSpareChunks = Opts.MaxSpareChunks;
+  }
+  if (Opts.MaxGroups)
+    Setup.Halo.Grouping.MaxGroups = Opts.MaxGroups;
+  if (Opts.AffinityDistance)
+    Setup.Halo.Profile.AffinityDistance = Opts.AffinityDistance;
+  return Setup;
+}
+
+void printRunsJson(const std::string &Benchmark, const std::string &Config,
+                   const std::vector<RunMetrics> &Runs) {
+  std::printf("{\n  \"benchmark\": \"%s\",\n  \"configuration\": \"%s\",\n"
+              "  \"runs\": [\n",
+              Benchmark.c_str(), Config.c_str());
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const RunMetrics &M = Runs[I];
+    std::printf("    {\"seconds\": %.9f, \"cycles\": %llu, "
+                "\"l1d_accesses\": %llu, \"l1d_misses\": %llu, "
+                "\"l2_misses\": %llu, \"l3_misses\": %llu, "
+                "\"tlb_misses\": %llu, \"grouped_allocs\": %llu, "
+                "\"forwarded_allocs\": %llu, \"frag_percent\": %.4f, "
+                "\"frag_bytes\": %llu}%s\n",
+                M.Seconds, (unsigned long long)M.Cycles,
+                (unsigned long long)M.Mem.Accesses,
+                (unsigned long long)M.Mem.L1Misses,
+                (unsigned long long)M.Mem.L2Misses,
+                (unsigned long long)M.Mem.L3Misses,
+                (unsigned long long)M.Mem.TlbMisses,
+                (unsigned long long)M.GroupedAllocs,
+                (unsigned long long)M.ForwardedAllocs,
+                M.Frag.wastedPercent(),
+                (unsigned long long)M.Frag.wastedBytes(),
+                I + 1 < Runs.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"median_seconds\": %.9f,\n"
+              "  \"median_l1d_misses\": %.0f\n}\n",
+              Evaluation::medianSeconds(Runs),
+              Evaluation::medianL1Misses(Runs));
+}
+
+void asciiBar(const char *Label, double Percent, double FullScale) {
+  int Width = static_cast<int>(40.0 * std::abs(Percent) / FullScale);
+  if (Width > 40)
+    Width = 40;
+  std::printf("  %-10s %+6.2f%% %s%.*s\n", Label, Percent,
+              Percent < 0 ? "-" : "", Width,
+              "########################################");
+}
+
+int runPlot(const CliOptions &Opts) {
+  std::vector<std::string> Names =
+      Opts.Benchmarks.empty() ? workloadNames() : Opts.Benchmarks;
+  std::printf("HALO vs jemalloc (top: L1D miss reduction, bottom: "
+              "speedup), %d trial(s)\n\n",
+              Opts.Trials);
+  for (const std::string &Name : Names) {
+    if (!createWorkload(Name)) {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", Name.c_str());
+      return 1;
+    }
+    ComparisonRow Row = compareTechniques(Name, Opts.Trials);
+    std::printf("%s\n", Name.c_str());
+    asciiBar("hds", Row.HdsMissReduction, 40.0);
+    asciiBar("halo", Row.HaloMissReduction, 40.0);
+    asciiBar("hds", Row.HdsSpeedup, 40.0);
+    asciiBar("halo", Row.HaloSpeedup, 40.0);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts = parseArgs(Argc, Argv);
+  if (Opts.Command == "plot")
+    return runPlot(Opts);
+
+  if (!createWorkload(Opts.Benchmark)) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", Opts.Benchmark.c_str());
+    return 1;
+  }
+  Evaluation Eval(setupFor(Opts));
+  AllocatorKind Kind;
+  if (Opts.Command == "baseline")
+    Kind = AllocatorKind::Jemalloc;
+  else if (Opts.Command == "run")
+    Kind = AllocatorKind::Halo;
+  else if (Opts.Command == "hds")
+    Kind = AllocatorKind::Hds;
+  else
+    usage();
+
+  std::vector<RunMetrics> Runs =
+      Eval.measureTrials(Kind, Scale::Ref, Opts.Trials);
+  printRunsJson(Opts.Benchmark, Opts.Command, Runs);
+  return 0;
+}

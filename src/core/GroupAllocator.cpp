@@ -1,0 +1,191 @@
+//===- core/GroupAllocator.cpp - HALO's specialised allocator --------------===//
+
+#include "core/GroupAllocator.h"
+
+#include <cassert>
+
+using namespace halo;
+
+GroupPolicy::~GroupPolicy() = default;
+
+SelectorGroupPolicy::SelectorGroupPolicy(const GroupStateVector &State,
+                                         std::vector<CompiledSelector> Sels)
+    : State(State), Selectors(std::move(Sels)) {}
+
+int32_t SelectorGroupPolicy::selectGroup(const AllocRequest &) const {
+  // Selectors are ordered most popular group first; first match wins.
+  for (size_t G = 0; G < Selectors.size(); ++G)
+    if (Selectors[G].matches(State))
+      return static_cast<int32_t>(G);
+  return -1;
+}
+
+SiteGroupPolicy::SiteGroupPolicy(
+    std::unordered_map<uint32_t, uint32_t> SiteToGroup, uint32_t NumGroups)
+    : SiteToGroup(std::move(SiteToGroup)), Groups(NumGroups) {}
+
+int32_t SiteGroupPolicy::selectGroup(const AllocRequest &Request) const {
+  auto It = SiteToGroup.find(Request.ImmediateSite);
+  return It == SiteToGroup.end() ? -1 : static_cast<int32_t>(It->second);
+}
+
+static bool isPowerOfTwo(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+GroupAllocator::GroupAllocator(Allocator &Backing, const GroupPolicy &Policy,
+                               const GroupAllocatorOptions &Options,
+                               uint64_t ArenaBase)
+    : Backing(Backing), Policy(Policy), Options(Options), Arena(ArenaBase) {
+  assert(isPowerOfTwo(Options.ChunkSize) && "chunk size must be 2^k");
+  assert(Options.SlabSize % Options.ChunkSize == 0 &&
+         "slab must hold whole chunks");
+  Cursors.resize(Policy.numGroups());
+}
+
+void GroupAllocator::noteUsage() {
+  uint64_t Resident = Arena.residentBytes();
+  if (Resident > Frag.PeakResident) {
+    Frag.PeakResident = Resident;
+    Frag.LiveAtPeak = GroupedLive;
+  }
+}
+
+uint64_t GroupAllocator::allocate(const AllocRequest &Request) {
+  uint64_t Size = Request.Size ? Request.Size : 1;
+  // Grouped treatment only for small requests whose state matches a group.
+  if (Size < Options.MaxGroupedSize) {
+    int32_t Group = Policy.selectGroup(Request);
+    if (Group >= 0)
+      return groupMalloc(static_cast<uint32_t>(Group), Size);
+  }
+  ++ForwardedAllocs;
+  return Backing.allocate(Request);
+}
+
+uint64_t GroupAllocator::groupMalloc(uint32_t Group, uint64_t Size) {
+  assert(Group < Cursors.size() && "bad group index");
+  GroupCursor &Cur = Cursors[Group];
+  uint64_t Aligned = (Size + MinAlign - 1) & ~(MinAlign - 1);
+
+  if (Cur.End == 0 || Cur.Cursor + Aligned > Cur.End) {
+    // Retire the group's previous current chunk (it may already be empty),
+    // then install a fresh one.
+    if (Cur.End != 0)
+      retireChunk(Cur.End - Options.ChunkSize);
+    uint64_t Base = takeChunk(Group);
+    Cur.Cursor = Base + ChunkHeaderSize;
+    Cur.End = Base + Options.ChunkSize;
+  }
+
+  uint64_t Addr = Cur.Cursor;
+  Cur.Cursor += Aligned;
+
+  ChunkHeader &Header = Chunks[chunkBase(Addr)];
+  ++Header.LiveRegions;
+  Header.LiveBytes += Size;
+
+  Arena.touch(Addr, Size);
+  Regions.emplace(Addr, Size);
+  GroupedLive += Size;
+  ++GroupedAllocs;
+  noteUsage();
+  return Addr;
+}
+
+uint64_t GroupAllocator::takeChunk(uint32_t Group) {
+  uint64_t Base;
+  if (!SpareChunks.empty()) {
+    Base = SpareChunks.front();
+    SpareChunks.pop_front();
+  } else if (!PurgedChunks.empty()) {
+    Base = PurgedChunks.front();
+    PurgedChunks.pop_front();
+  } else {
+    if (SlabCursor + Options.ChunkSize > SlabEnd) {
+      // Reserve a new demand-paged slab, chunk-aligned so headers can be
+      // located with bitwise operations.
+      SlabCursor = Arena.reserve(Options.SlabSize, Options.ChunkSize);
+      SlabEnd = SlabCursor + Options.SlabSize;
+    }
+    Base = SlabCursor;
+    SlabCursor += Options.ChunkSize;
+  }
+  ChunkHeader &Header = Chunks[Base];
+  Header = ChunkHeader();
+  Header.Group = static_cast<int32_t>(Group);
+  Header.IsCurrent = true;
+  return Base;
+}
+
+void GroupAllocator::retireChunk(uint64_t Base) {
+  auto It = Chunks.find(Base);
+  assert(It != Chunks.end() && "retiring unknown chunk");
+  It->second.IsCurrent = false;
+  if (It->second.LiveRegions != 0)
+    return; // Still holds live data; its last free will recycle it.
+  Chunks.erase(It);
+  if (SpareChunks.size() < Options.MaxSpareChunks) {
+    SpareChunks.push_back(Base);
+  } else if (Options.PurgeEmptyChunks) {
+    Arena.purge(Base, Options.ChunkSize);
+    PurgedChunks.push_back(Base);
+  } else {
+    // Always-reuse configuration: keep the dirty pages.
+    SpareChunks.push_back(Base);
+  }
+}
+
+void GroupAllocator::groupFree(uint64_t Addr) {
+  auto Region = Regions.find(Addr);
+  assert(Region != Regions.end() && "group-freeing unknown region");
+  uint64_t Size = Region->second;
+  Regions.erase(Region);
+  GroupedLive -= Size;
+
+  // The chunk header is located from the region pointer by way of simple
+  // bitwise operations (chunks are aligned to their size).
+  auto It = Chunks.find(chunkBase(Addr));
+  assert(It != Chunks.end() && "region without chunk header");
+  ChunkHeader &Header = It->second;
+  assert(Header.LiveRegions > 0 && "double free of grouped region");
+  --Header.LiveRegions;
+  Header.LiveBytes -= Size;
+  if (Header.LiveRegions == 0 && !Header.IsCurrent) {
+    uint64_t Base = It->first;
+    Chunks.erase(It);
+    if (SpareChunks.size() < Options.MaxSpareChunks) {
+      SpareChunks.push_back(Base);
+    } else if (Options.PurgeEmptyChunks) {
+      Arena.purge(Base, Options.ChunkSize);
+      PurgedChunks.push_back(Base);
+    } else {
+      SpareChunks.push_back(Base);
+    }
+  }
+}
+
+void GroupAllocator::deallocate(uint64_t Addr) {
+  if (Regions.count(Addr)) {
+    groupFree(Addr);
+    return;
+  }
+  Backing.deallocate(Addr);
+}
+
+bool GroupAllocator::owns(uint64_t Addr) const {
+  return Regions.count(Addr) || Backing.owns(Addr);
+}
+
+uint64_t GroupAllocator::usableSize(uint64_t Addr) const {
+  auto It = Regions.find(Addr);
+  if (It != Regions.end())
+    return It->second;
+  return Backing.usableSize(Addr);
+}
+
+uint64_t GroupAllocator::liveBytes() const {
+  return GroupedLive + Backing.liveBytes();
+}
+
+uint64_t GroupAllocator::residentBytes() const {
+  return Arena.residentBytes() + Backing.residentBytes();
+}

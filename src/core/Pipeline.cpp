@@ -1,0 +1,56 @@
+//===- core/Pipeline.cpp - End-to-end HALO pipeline -------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "mem/SizeClassAllocator.h"
+
+using namespace halo;
+
+HaloArtifacts
+halo::optimizeBinary(const Program &Prog,
+                     const std::function<void(Runtime &)> &RunWorkload,
+                     const HaloParameters &Params) {
+  HaloArtifacts Out;
+
+  // Stage 1: profiling (Section 4.1). The profiled binary runs under the
+  // default allocator; only the event stream matters here.
+  {
+    SizeClassAllocator ProfileAlloc;
+    Runtime RT(Prog, ProfileAlloc);
+    HeapProfiler Profiler(Prog, Params.Profile);
+    RT.addObserver(&Profiler);
+    RunWorkload(RT);
+    Out.Graph = Profiler.takeGraph();
+    Out.Contexts = std::move(Profiler.contexts());
+    Out.ProfiledAccesses = Profiler.totalAccesses();
+  }
+
+  // Stage 2: grouping (Section 4.2).
+  Out.Groups = buildGroups(Out.Graph, Params.Grouping);
+
+  // Stage 3: identification (Section 4.3).
+  Out.Identification = identifyGroups(Out.Groups, Out.Contexts);
+
+  // Stage 4: BOLT rewriting -- instrument the union of selector sites.
+  Out.Plan = InstrumentationPlan(Prog, Out.Identification.Sites);
+
+  // Stage 5: allocator synthesis -- compile selectors to state masks.
+  for (const Selector &Sel : Out.Identification.Selectors)
+    Out.CompiledSelectors.push_back(compileSelector(Sel, Out.Plan));
+
+  return Out;
+}
+
+std::string HaloArtifacts::groupsAsDot(const Program &Prog,
+                                       uint64_t MinEdgeWeight) const {
+  std::vector<std::string> Labels;
+  std::vector<int> GroupOf;
+  for (ContextId C = 0; C < Contexts.size(); ++C) {
+    Labels.push_back(Contexts.describe(C, Prog));
+    GroupOf.push_back(-1);
+  }
+  for (size_t G = 0; G < Groups.size(); ++G)
+    for (GraphNodeId Member : Groups[G].Members)
+      GroupOf[Member] = static_cast<int>(G);
+  return Graph.toDot(Labels, GroupOf, MinEdgeWeight);
+}

@@ -1,0 +1,66 @@
+//===- core/Pipeline.h - End-to-end HALO pipeline ---------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full optimisation pipeline of Figure 4: Profiling -> Grouping ->
+/// Identification -> BOLT rewriting -> specialised-allocator synthesis.
+/// optimizeBinary() profiles a training run of the target program (the
+/// paper profiles small test inputs), derives allocation groups and
+/// selectors, and returns everything needed to execute the optimised
+/// binary: the instrumentation plan and the compiled selectors that drive
+/// a SelectorGroupPolicy + GroupAllocator at measurement time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_CORE_PIPELINE_H
+#define HALO_CORE_PIPELINE_H
+
+#include "core/GroupAllocator.h"
+#include "graph/AffinityGraph.h"
+#include "group/Grouping.h"
+#include "identify/Identify.h"
+#include "profile/HeapProfiler.h"
+#include "runtime/Runtime.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace halo {
+
+/// All tunables of the pipeline (defaults follow Section 5.1).
+struct HaloParameters {
+  ProfileOptions Profile;
+  GroupingOptions Grouping;
+  GroupAllocatorOptions Allocator;
+};
+
+/// Everything the pipeline produces for one target program.
+struct HaloArtifacts {
+  ContextTable Contexts;
+  AffinityGraph Graph;
+  std::vector<Group> Groups;
+  IdentificationResult Identification;
+  InstrumentationPlan Plan;
+  std::vector<CompiledSelector> CompiledSelectors;
+  uint64_t ProfiledAccesses = 0;
+
+  /// Renders the grouped affinity graph as DOT (Figure 9 style).
+  std::string groupsAsDot(const Program &Prog,
+                          uint64_t MinEdgeWeight = 0) const;
+};
+
+/// Runs the whole pipeline. \p RunWorkload executes the target program's
+/// profiling workload against the runtime it is handed (the paper uses the
+/// small test inputs for this); the runtime is wired to a default allocator
+/// and the heap profiler, standing in for the Pin tool.
+HaloArtifacts optimizeBinary(const Program &Prog,
+                             const std::function<void(Runtime &)> &RunWorkload,
+                             const HaloParameters &Params = HaloParameters());
+
+} // namespace halo
+
+#endif // HALO_CORE_PIPELINE_H

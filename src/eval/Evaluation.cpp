@@ -1,0 +1,187 @@
+//===- eval/Evaluation.cpp - Experiment harness ------------------------------===//
+
+#include "eval/Evaluation.h"
+
+#include "mem/BoundaryTagAllocator.h"
+#include "mem/RandomPoolAllocator.h"
+#include "mem/SizeClassAllocator.h"
+#include "support/Stats.h"
+
+#include <cassert>
+
+using namespace halo;
+
+BenchmarkSetup halo::paperSetup(const std::string &Benchmark) {
+  BenchmarkSetup Setup;
+  Setup.Name = Benchmark;
+  // Global defaults are encoded in the option structs themselves: affinity
+  // distance 128 (Fig. 12), merge tolerance 5%, 1 MiB chunks, one spare
+  // chunk, maximum grouped object size 4 KiB (Section 5.1).
+  if (Benchmark == "omnetpp") {
+    Setup.Halo.Allocator.ChunkSize = 128 * 1024;
+    Setup.Halo.Allocator.MaxSpareChunks = 0;
+    Setup.Halo.Allocator.PurgeEmptyChunks = false; // Always reuse chunks.
+  } else if (Benchmark == "xalanc") {
+    Setup.Halo.Allocator.MaxSpareChunks = 0;
+    Setup.Halo.Allocator.PurgeEmptyChunks = false; // Always reuse chunks.
+  } else if (Benchmark == "roms") {
+    Setup.Halo.Grouping.MaxGroups = 4; // Artefact: --max-groups 4.
+  }
+  // The comparison technique shares the specialised allocator and its
+  // per-benchmark settings (Section 5.1).
+  Setup.Hds.Allocator = Setup.Halo.Allocator;
+  return Setup;
+}
+
+Evaluation::Evaluation(BenchmarkSetup SetupIn) : Setup(std::move(SetupIn)) {
+  W = createWorkload(Setup.Name);
+  assert(W && "unknown benchmark");
+  W->build(Prog);
+}
+
+const HaloArtifacts &Evaluation::haloArtifacts() {
+  if (!HaloArt) {
+    HaloArt = optimizeBinary(
+        Prog,
+        [&](Runtime &RT) {
+          W->run(RT, Setup.ProfileScale, Setup.ProfileSeed);
+        },
+        Setup.Halo);
+  }
+  return *HaloArt;
+}
+
+const HdsArtifacts &Evaluation::hdsArtifacts() {
+  if (!HdsArt) {
+    HdsArt = optimizeBinaryHds(
+        Prog,
+        [&](Runtime &RT) {
+          W->run(RT, Setup.ProfileScale, Setup.ProfileSeed);
+        },
+        Setup.Hds);
+  }
+  return *HdsArt;
+}
+
+RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
+  MemoryHierarchy Memory;
+  SizeClassAllocator Jemalloc;
+  BoundaryTagAllocator Ptmalloc;
+
+  RunMetrics Out;
+
+  auto Finish = [&](Runtime &RT, const GroupAllocator *GA) {
+    Out.Seconds = RT.timing().seconds();
+    Out.Cycles = RT.timing().totalCycles();
+    Out.Mem = Memory.counters();
+    Out.Events = RT.stats();
+    Out.InstrumentationOps = RT.timing().instrumentationOps();
+    if (GA) {
+      Out.Frag = GA->fragmentation();
+      Out.GroupedAllocs = GA->groupedAllocations();
+      Out.ForwardedAllocs = GA->forwardedAllocations();
+    }
+  };
+
+  switch (Kind) {
+  case AllocatorKind::Jemalloc: {
+    Runtime RT(Prog, Jemalloc);
+    RT.setMemory(&Memory);
+    W->run(RT, S, Seed);
+    Finish(RT, nullptr);
+    break;
+  }
+  case AllocatorKind::Ptmalloc: {
+    Runtime RT(Prog, Ptmalloc);
+    RT.setMemory(&Memory);
+    W->run(RT, S, Seed);
+    Finish(RT, nullptr);
+    break;
+  }
+  case AllocatorKind::RandomPools: {
+    RandomPoolAllocator Pools(Jemalloc, /*Seed=*/Seed * 11 + 3);
+    Runtime RT(Prog, Pools);
+    RT.setMemory(&Memory);
+    W->run(RT, S, Seed);
+    Finish(RT, nullptr);
+    break;
+  }
+  case AllocatorKind::Halo: {
+    const HaloArtifacts &Art = haloArtifacts();
+    Runtime RT(Prog, Jemalloc);
+    RT.setInstrumentation(&Art.Plan);
+    SelectorGroupPolicy Policy(RT.groupState(), Art.CompiledSelectors);
+    GroupAllocator Halo(Jemalloc, Policy, Setup.Halo.Allocator);
+    RT.setAllocator(Halo);
+    RT.setMemory(&Memory);
+    W->run(RT, S, Seed);
+    Finish(RT, &Halo);
+    break;
+  }
+  case AllocatorKind::Hds: {
+    const HdsArtifacts &Art = hdsArtifacts();
+    SiteGroupPolicy Policy(Art.SiteToGroup,
+                           static_cast<uint32_t>(Art.Groups.size()));
+    GroupAllocator Hds(Jemalloc, Policy, Setup.Hds.Allocator);
+    Runtime RT(Prog, Hds);
+    RT.setMemory(&Memory);
+    W->run(RT, S, Seed);
+    Finish(RT, &Hds);
+    break;
+  }
+  case AllocatorKind::HaloInstrumentedOnly: {
+    const HaloArtifacts &Art = haloArtifacts();
+    Runtime RT(Prog, Jemalloc);
+    RT.setInstrumentation(&Art.Plan);
+    RT.setMemory(&Memory);
+    W->run(RT, S, Seed);
+    Finish(RT, nullptr);
+    break;
+  }
+  }
+  return Out;
+}
+
+std::vector<RunMetrics> Evaluation::measureTrials(AllocatorKind Kind, Scale S,
+                                                  int Trials,
+                                                  uint64_t SeedBase) {
+  std::vector<RunMetrics> Runs;
+  Runs.reserve(Trials);
+  for (int T = 0; T < Trials; ++T)
+    Runs.push_back(measure(Kind, S, SeedBase + T));
+  return Runs;
+}
+
+double Evaluation::medianSeconds(const std::vector<RunMetrics> &Runs) {
+  std::vector<double> Values;
+  for (const RunMetrics &R : Runs)
+    Values.push_back(R.Seconds);
+  return median(Values);
+}
+
+double Evaluation::medianL1Misses(const std::vector<RunMetrics> &Runs) {
+  std::vector<double> Values;
+  for (const RunMetrics &R : Runs)
+    Values.push_back(static_cast<double>(R.Mem.L1Misses));
+  return median(Values);
+}
+
+ComparisonRow halo::compareTechniques(const std::string &Benchmark,
+                                      int Trials, Scale S) {
+  Evaluation Eval(paperSetup(Benchmark));
+  auto Base = Eval.measureTrials(AllocatorKind::Jemalloc, S, Trials);
+  auto Hds = Eval.measureTrials(AllocatorKind::Hds, S, Trials);
+  auto Halo = Eval.measureTrials(AllocatorKind::Halo, S, Trials);
+
+  ComparisonRow Row;
+  Row.Benchmark = Benchmark;
+  Row.HdsMissReduction = percentImprovement(Evaluation::medianL1Misses(Base),
+                                            Evaluation::medianL1Misses(Hds));
+  Row.HaloMissReduction = percentImprovement(Evaluation::medianL1Misses(Base),
+                                             Evaluation::medianL1Misses(Halo));
+  Row.HdsSpeedup = percentImprovement(Evaluation::medianSeconds(Base),
+                                      Evaluation::medianSeconds(Hds));
+  Row.HaloSpeedup = percentImprovement(Evaluation::medianSeconds(Base),
+                                       Evaluation::medianSeconds(Halo));
+  return Row;
+}

@@ -1,0 +1,120 @@
+//===- eval/Evaluation.h - Experiment harness --------------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement harness behind every table and figure of Section 5.
+/// An Evaluation wires one benchmark model to a program, runs the HALO and
+/// hot-data-streams pipelines on the small *test* inputs, and measures any
+/// allocator configuration on the larger *ref* inputs under the simulated
+/// Xeon W-2195 memory hierarchy -- mirroring the paper's methodology
+/// (repeated trials, medians, jemalloc default allocator everywhere).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_EVAL_EVALUATION_H
+#define HALO_EVAL_EVALUATION_H
+
+#include "core/Pipeline.h"
+#include "hds/HdsPipeline.h"
+#include "workloads/Workload.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace halo {
+
+/// The allocator configurations the evaluation compares.
+enum class AllocatorKind {
+  Jemalloc,    ///< Size-segregated baseline (the paper's default).
+  Ptmalloc,    ///< Boundary-tag baseline (Section 5.1's glibc comparison).
+  Halo,        ///< Rewritten binary + HALO's specialised group allocator.
+  Hds,         ///< Hot-data-streams groups, immediate-call-site identified.
+  RandomPools, ///< Figure 15's random four-pool strawman.
+  HaloInstrumentedOnly, ///< Rewritten binary, default allocator (overhead
+                        ///< probe; Section 5.2 finds it below noise).
+};
+
+/// Everything measured in one run.
+struct RunMetrics {
+  double Seconds = 0.0;
+  uint64_t Cycles = 0;
+  MemoryCounters Mem;
+  RuntimeStats Events;
+  uint64_t InstrumentationOps = 0;
+  FragmentationStats Frag; ///< Grouped-object fragmentation (HALO/HDS only).
+  uint64_t GroupedAllocs = 0;
+  uint64_t ForwardedAllocs = 0;
+};
+
+/// Per-benchmark configuration: paper defaults plus the Appendix A.8 flags.
+struct BenchmarkSetup {
+  std::string Name;
+  HaloParameters Halo;
+  HdsParameters Hds;
+  Scale ProfileScale = Scale::Test; ///< "Workloads are profiled on small
+                                    ///< test inputs" (Section 5.1).
+  uint64_t ProfileSeed = 1;
+};
+
+/// Returns the paper's configuration for \p Benchmark: affinity distance
+/// 128, merge tolerance 5%, 1 MiB chunks, 4 KiB max grouped size, plus the
+/// artefact's per-benchmark flags (omnetpp: 128 KiB chunks + always-reuse;
+/// xalanc: always-reuse; roms: at most 4 groups).
+BenchmarkSetup paperSetup(const std::string &Benchmark);
+
+/// One benchmark wired up for measurement.
+class Evaluation {
+public:
+  explicit Evaluation(BenchmarkSetup Setup);
+
+  /// The HALO pipeline output (profiled lazily, once).
+  const HaloArtifacts &haloArtifacts();
+  /// The hot-data-streams pipeline output (profiled lazily, once).
+  const HdsArtifacts &hdsArtifacts();
+
+  /// Measures one configuration on one input.
+  RunMetrics measure(AllocatorKind Kind, Scale S, uint64_t Seed);
+
+  /// Measures \p Trials runs with distinct seeds (the paper uses 11 trials
+  /// and reports medians; seeds stand in for run-to-run variation).
+  std::vector<RunMetrics> measureTrials(AllocatorKind Kind, Scale S,
+                                        int Trials, uint64_t SeedBase = 100);
+
+  /// Median seconds / L1D misses over a set of runs.
+  static double medianSeconds(const std::vector<RunMetrics> &Runs);
+  static double medianL1Misses(const std::vector<RunMetrics> &Runs);
+
+  const Program &program() const { return Prog; }
+  const BenchmarkSetup &setup() const { return Setup; }
+  Workload &workload() { return *W; }
+
+private:
+  BenchmarkSetup Setup;
+  std::unique_ptr<Workload> W;
+  Program Prog;
+  std::optional<HaloArtifacts> HaloArt;
+  std::optional<HdsArtifacts> HdsArt;
+};
+
+/// The data behind one bar pair of Figures 13/14.
+struct ComparisonRow {
+  std::string Benchmark;
+  double HdsMissReduction = 0.0;  ///< % L1D misses removed vs jemalloc.
+  double HaloMissReduction = 0.0;
+  double HdsSpeedup = 0.0;        ///< % execution time removed vs jemalloc.
+  double HaloSpeedup = 0.0;
+};
+
+/// Runs baseline, HDS, and HALO trials for \p Benchmark and reduces them to
+/// the paper's two headline percentages.
+ComparisonRow compareTechniques(const std::string &Benchmark, int Trials,
+                                Scale S = Scale::Ref);
+
+} // namespace halo
+
+#endif // HALO_EVAL_EVALUATION_H

@@ -1,0 +1,64 @@
+//===- eval/Report.cpp - Table rendering for bench output -------------------===//
+
+#include "eval/Report.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace halo;
+
+Report::Report(std::string Title) : Title(std::move(Title)) {}
+
+void Report::setColumns(std::vector<std::string> NewHeaders) {
+  Headers = std::move(NewHeaders);
+}
+
+void Report::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void Report::addNote(std::string Note) { Notes.push_back(std::move(Note)); }
+
+std::string Report::str() const {
+  // Column widths: max of header and cells, plus padding.
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size() && C < Widths.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  std::ostringstream Out;
+  Out << "== " << Title << " ==\n";
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Widths.size(); ++C) {
+      std::string Cell = C < Cells.size() ? Cells[C] : "";
+      // First column left-aligned (names), the rest right-aligned.
+      Out << (C == 0 ? padRight(Cell, Widths[C]) : padLeft(Cell, Widths[C]));
+      if (C + 1 < Widths.size())
+        Out << "  ";
+    }
+    Out << "\n";
+  };
+  if (!Headers.empty()) {
+    EmitRow(Headers);
+    size_t Total = 0;
+    for (size_t W : Widths)
+      Total += W;
+    Out << std::string(Total + 2 * (Widths.size() - 1), '-') << "\n";
+  }
+  for (const auto &Row : Rows)
+    EmitRow(Row);
+  for (const std::string &Note : Notes)
+    Out << "note: " << Note << "\n";
+  return Out.str();
+}
+
+void Report::print() const {
+  std::string Text = str();
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  std::fflush(stdout);
+}

@@ -1,0 +1,45 @@
+//===- eval/Report.h - Table rendering for bench output ---------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-text table rendering used by the bench binaries to print the
+/// paper's tables and figure series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_EVAL_REPORT_H
+#define HALO_EVAL_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace halo {
+
+/// Fixed-width text table with a title, header row, and data rows.
+class Report {
+public:
+  explicit Report(std::string Title);
+
+  void setColumns(std::vector<std::string> Headers);
+  void addRow(std::vector<std::string> Cells);
+  /// A free-form footnote printed under the table.
+  void addNote(std::string Note);
+
+  /// Renders the table.
+  std::string str() const;
+  /// Renders and writes to stdout.
+  void print() const;
+
+private:
+  std::string Title;
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<std::string> Notes;
+};
+
+} // namespace halo
+
+#endif // HALO_EVAL_REPORT_H

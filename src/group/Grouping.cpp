@@ -1,0 +1,152 @@
+//===- group/Grouping.cpp - Context grouping (Fig. 6-8) --------------------===//
+
+#include "group/Grouping.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace halo;
+
+double halo::mergeBenefit(const AffinityGraph &Graph,
+                          const std::vector<GraphNodeId> &Members,
+                          GraphNodeId Candidate, double Tolerance) {
+  // m(A, B) = Sc - (1 - T) * max(Sa, Sb)
+  double Sa = Graph.score(Members);
+  double Sb = Graph.score({Candidate});
+  std::vector<GraphNodeId> Union = Members;
+  Union.push_back(Candidate);
+  double Sc = Graph.score(Union);
+  return Sc - (1.0 - Tolerance) * std::max(Sa, Sb);
+}
+
+std::vector<Group> halo::buildGroups(const AffinityGraph &Input,
+                                     const GroupingOptions &Options) {
+  AffinityGraph Graph = Input;
+  Graph.removeLightEdges(Options.MinEdgeWeight);
+
+  std::unordered_set<GraphNodeId> Avail;
+  for (GraphNodeId Node : Graph.nodes())
+    Avail.insert(Node);
+
+  std::vector<Group> Groups;
+  while (!Avail.empty()) {
+    // Form a group around the hottest node in the strongest available edge.
+    bool Found = false;
+    AffinityGraph::Edge Best{0, 0, 0};
+    for (const AffinityGraph::Edge &E : Graph.edges()) {
+      if (!Avail.count(E.U) || !Avail.count(E.V))
+        continue;
+      if (!Found || E.Weight > Best.Weight) {
+        Best = E;
+        Found = true;
+      }
+    }
+    if (!Found)
+      break; // No edges left between available nodes.
+
+    GraphNodeId Seed =
+        Graph.nodeAccesses(Best.U) >= Graph.nodeAccesses(Best.V) ? Best.U
+                                                                 : Best.V;
+    Group G;
+    G.Members.push_back(Seed);
+    Avail.erase(Seed);
+
+    // Grow the group greedily by maximum merge benefit.
+    constexpr GraphNodeId NoMatch = ~0u;
+    while (G.Members.size() < Options.MaxGroupMembers) {
+      double BestScore = 0.0;
+      GraphNodeId BestMatch = NoMatch;
+      // Deterministic iteration: visit candidates in ascending id order.
+      std::vector<GraphNodeId> Candidates(Avail.begin(), Avail.end());
+      std::sort(Candidates.begin(), Candidates.end());
+      for (GraphNodeId Stranger : Candidates) {
+        double Benefit =
+            mergeBenefit(Graph, G.Members, Stranger, Options.MergeTolerance);
+        if (Benefit > BestScore) {
+          BestScore = Benefit;
+          BestMatch = Stranger;
+        }
+      }
+      if (BestMatch == NoMatch)
+        break;
+      G.Members.push_back(BestMatch);
+      Avail.erase(BestMatch);
+    }
+
+    // Keep the group only if it exceeds the minimum group weight.
+    G.Weight = Graph.subgraphWeight(G.Members);
+    double MinWeight = Options.GroupWeightThreshold *
+                       static_cast<double>(Graph.totalAccesses());
+    if (static_cast<double>(G.Weight) >= MinWeight) {
+      for (GraphNodeId Member : G.Members)
+        G.Accesses += Graph.nodeAccesses(Member);
+      std::sort(G.Members.begin(), G.Members.end());
+      Groups.push_back(std::move(G));
+    }
+  }
+
+  // Identification processes groups most-popular-first (Fig. 10).
+  std::sort(Groups.begin(), Groups.end(), [](const Group &A, const Group &B) {
+    if (A.Accesses != B.Accesses)
+      return A.Accesses > B.Accesses;
+    return A.Members < B.Members;
+  });
+  if (Options.MaxGroups && Groups.size() > Options.MaxGroups)
+    Groups.resize(Options.MaxGroups);
+  return Groups;
+}
+
+std::vector<Group> halo::buildComponentGroups(const AffinityGraph &Input,
+                                              const GroupingOptions &Options) {
+  AffinityGraph Graph = Input;
+  Graph.removeLightEdges(Options.MinEdgeWeight);
+
+  // Union-find over the surviving edges.
+  std::vector<GraphNodeId> Nodes = Graph.nodes();
+  std::unordered_map<GraphNodeId, GraphNodeId> Parent;
+  for (GraphNodeId N : Nodes)
+    Parent[N] = N;
+  auto Find = [&](GraphNodeId N) {
+    while (Parent[N] != N) {
+      Parent[N] = Parent[Parent[N]];
+      N = Parent[N];
+    }
+    return N;
+  };
+  for (const AffinityGraph::Edge &E : Graph.edges())
+    Parent[Find(E.U)] = Find(E.V);
+
+  std::unordered_map<GraphNodeId, Group> ByRoot;
+  for (GraphNodeId N : Nodes)
+    ByRoot[Find(N)].Members.push_back(N);
+
+  std::vector<Group> Groups;
+  for (auto &[Root, G] : ByRoot) {
+    if (G.Members.size() < 2)
+      continue;
+    std::sort(G.Members.begin(), G.Members.end());
+    // Split oversized components mechanically.
+    for (size_t Start = 0; Start < G.Members.size();
+         Start += Options.MaxGroupMembers) {
+      Group Part;
+      size_t End =
+          std::min(G.Members.size(), Start + Options.MaxGroupMembers);
+      Part.Members.assign(G.Members.begin() + Start, G.Members.begin() + End);
+      if (Part.Members.size() < 2)
+        continue;
+      Part.Weight = Graph.subgraphWeight(Part.Members);
+      for (GraphNodeId Member : Part.Members)
+        Part.Accesses += Graph.nodeAccesses(Member);
+      Groups.push_back(std::move(Part));
+    }
+  }
+  std::sort(Groups.begin(), Groups.end(), [](const Group &A, const Group &B) {
+    if (A.Accesses != B.Accesses)
+      return A.Accesses > B.Accesses;
+    return A.Members < B.Members;
+  });
+  if (Options.MaxGroups && Groups.size() > Options.MaxGroups)
+    Groups.resize(Options.MaxGroups);
+  return Groups;
+}

@@ -1,0 +1,33 @@
+//===- hds/HdsPipeline.cpp - Hot-data-streams pipeline ----------------------===//
+
+#include "hds/HdsPipeline.h"
+
+#include "mem/SizeClassAllocator.h"
+
+using namespace halo;
+
+HdsArtifacts
+halo::optimizeBinaryHds(const Program &Prog,
+                        const std::function<void(Runtime &)> &RunWorkload,
+                        const HdsParameters &Params) {
+  HdsArtifacts Out;
+
+  ProfileOptions ProfOpts = Params.Profile;
+  ProfOpts.RecordReferenceTrace = true;
+
+  SizeClassAllocator ProfileAlloc;
+  Runtime RT(Prog, ProfileAlloc);
+  HeapProfiler Profiler(Prog, ProfOpts);
+  RT.addObserver(&Profiler);
+  RunWorkload(RT);
+
+  Out.Analysis = findHotStreams(Profiler.referenceTrace(), Params.Streams);
+  std::vector<CoAllocationSet> Candidates = buildCoAllocationSets(
+      Out.Analysis.Streams, Profiler.objects(), Params.CoAllocation);
+  CoAllocationOptions Packing = Params.CoAllocation;
+  Packing.MinBenefit = Packing.MinBenefitFraction *
+                       static_cast<double>(Out.Analysis.TraceLength);
+  Out.Groups = packCoAllocationSets(std::move(Candidates), Packing);
+  Out.SiteToGroup = siteGroupMap(Out.Groups);
+  return Out;
+}

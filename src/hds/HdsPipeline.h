@@ -1,0 +1,53 @@
+//===- hds/HdsPipeline.h - Hot-data-streams pipeline ------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison technique of Section 5.1: hot-data-stream-based
+/// co-allocation [11], replicated end to end. It shares HALO's profiler
+/// (for the object-level reference trace) and specialised allocator, but
+/// derives groups from SEQUITUR-compressed streams and identifies them at
+/// runtime by the immediate call site of the allocation procedure -- the
+/// fixed-size context that Section 5.2 shows failing on wrapper-function
+/// and deep-abstraction programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_HDS_HDSPIPELINE_H
+#define HALO_HDS_HDSPIPELINE_H
+
+#include "core/GroupAllocator.h"
+#include "hds/CoAllocation.h"
+#include "hds/HotStreams.h"
+#include "profile/HeapProfiler.h"
+#include "runtime/Runtime.h"
+
+#include <functional>
+#include <vector>
+
+namespace halo {
+
+struct HdsParameters {
+  ProfileOptions Profile; ///< RecordReferenceTrace is forced on.
+  HotStreamOptions Streams;
+  CoAllocationOptions CoAllocation;
+  GroupAllocatorOptions Allocator;
+};
+
+struct HdsArtifacts {
+  HotStreamAnalysis Analysis;
+  std::vector<CoAllocationSet> Groups;
+  std::unordered_map<uint32_t, uint32_t> SiteToGroup;
+};
+
+/// Profiles \p RunWorkload and derives the hot-data-streams placement
+/// policy (groups of malloc call sites).
+HdsArtifacts optimizeBinaryHds(const Program &Prog,
+                               const std::function<void(Runtime &)> &RunWorkload,
+                               const HdsParameters &Params = HdsParameters());
+
+} // namespace halo
+
+#endif // HALO_HDS_HDSPIPELINE_H

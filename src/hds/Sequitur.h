@@ -1,0 +1,96 @@
+//===- hds/Sequitur.h - SEQUITUR grammar inference --------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear-time incremental grammar inference (Nevill-Manning & Witten [25]),
+/// used by the hot-data-streams comparison technique [11] to compress the
+/// object-level data reference trace. The algorithm maintains two
+/// invariants: *digram uniqueness* (no pair of adjacent symbols appears
+/// more than once in the grammar) and *rule utility* (every rule is used at
+/// least twice). Repeated access sequences therefore condense into rules,
+/// whose expansions are the candidate hot data streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_HDS_SEQUITUR_H
+#define HALO_HDS_SEQUITUR_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace halo {
+
+/// Incremental SEQUITUR grammar over uint32_t terminals.
+class Sequitur {
+public:
+  /// One extracted rule: symbols are terminals (Terminal >= 0 slot) or
+  /// references to other rules.
+  struct BodySymbol {
+    bool IsRule;
+    uint32_t Value; ///< Terminal value, or rule index.
+  };
+  struct ExtractedRule {
+    uint32_t Id;
+    std::vector<BodySymbol> Body;
+    /// How often this rule's expansion occurs in the input sequence.
+    uint64_t Frequency = 0;
+    /// Total expansion length in terminals (saturating).
+    uint64_t ExpansionLength = 0;
+  };
+
+  Sequitur();
+  ~Sequitur();
+  Sequitur(const Sequitur &) = delete;
+  Sequitur &operator=(const Sequitur &) = delete;
+
+  /// Appends one terminal to the input sequence.
+  void append(uint32_t Terminal);
+
+  /// Number of live rules, including the start rule.
+  uint32_t numRules() const;
+
+  /// Extracts all live rules. Index 0 is the start rule (Frequency 1);
+  /// frequencies and expansion lengths are fully propagated. Rule indices
+  /// inside bodies refer to positions in the returned vector.
+  std::vector<ExtractedRule> extractRules() const;
+
+  /// Expands rule \p RuleIndex (as returned by extractRules) to at most
+  /// \p MaxLen terminals.
+  static std::vector<uint32_t>
+  expandRule(const std::vector<ExtractedRule> &Rules, uint32_t RuleIndex,
+             uint64_t MaxLen);
+
+private:
+  struct Symbol;
+  struct Rule;
+
+  // Core algorithm steps (see Sequitur.cpp for the invariant machinery).
+  void join(Symbol *Left, Symbol *Right);
+  void insertAfter(Symbol *Pos, Symbol *Sym);
+  void deleteSymbol(Symbol *Sym);
+  void removeDigram(Symbol *First);
+  bool check(Symbol *First);
+  void match(Symbol *New, Symbol *Found);
+  void substitute(Symbol *First, Rule *R);
+  void expandSoleUse(Symbol *NonTerminal);
+
+  static uint64_t encode(const Symbol *Sym);
+  uint64_t digramKey(const Symbol *First) const;
+
+  Symbol *newTerminal(uint32_t Terminal);
+  Symbol *newNonTerminal(Rule *R);
+  Rule *newRule();
+
+  std::vector<std::unique_ptr<Rule>> Rules;
+  std::unordered_map<uint64_t, Symbol *> Digrams;
+  Rule *Start = nullptr;
+};
+
+} // namespace halo
+
+#endif // HALO_HDS_SEQUITUR_H

@@ -1,0 +1,46 @@
+//===- identify/Identify.h - Selector construction (Fig. 10) ----*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The greedy group-identification algorithm of Figure 10. For each group
+/// (most popular first) it builds a DNF selector, one conjunction per
+/// member: starting from the member's own call-site chain, it repeatedly
+/// adds the chain site that minimises the number of *conflicting* contexts
+/// (contexts outside all already-processed groups whose chains still match
+/// the expression), stopping when conflicts reach zero or stop improving.
+/// The union of sites used across all selectors is the set of points the
+/// BOLT pass instruments -- "only a small handful of call sites".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_IDENTIFY_IDENTIFY_H
+#define HALO_IDENTIFY_IDENTIFY_H
+
+#include "group/Grouping.h"
+#include "identify/Selector.h"
+#include "trace/Context.h"
+
+#include <vector>
+
+namespace halo {
+
+/// Output of identification: one selector per group (same order as the
+/// input groups) plus the union of referenced call sites in deterministic
+/// first-use order (the instrumentation points).
+struct IdentificationResult {
+  std::vector<Selector> Selectors;
+  std::vector<CallSiteId> Sites;
+};
+
+/// Runs Figure 10 over \p Groups (which must be sorted most popular first,
+/// as buildGroups returns them). \p Contexts supplies every profiled
+/// allocation context; node ids in the groups are ContextIds.
+IdentificationResult identifyGroups(const std::vector<Group> &Groups,
+                                    const ContextTable &Contexts);
+
+} // namespace halo
+
+#endif // HALO_IDENTIFY_IDENTIFY_H

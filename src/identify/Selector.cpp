@@ -1,0 +1,62 @@
+//===- identify/Selector.cpp - Group selectors ------------------------------===//
+
+#include "identify/Selector.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace halo;
+
+bool Conjunction::matchesChain(const std::vector<CallSiteId> &Chain) const {
+  for (CallSiteId Site : Sites)
+    if (!std::binary_search(Chain.begin(), Chain.end(), Site))
+      return false;
+  return true;
+}
+
+bool Selector::matchesChain(const std::vector<CallSiteId> &Chain) const {
+  for (const Conjunction &Term : Terms)
+    if (Term.matchesChain(Chain))
+      return true;
+  return false;
+}
+
+std::vector<CallSiteId> Selector::referencedSites() const {
+  std::vector<CallSiteId> Sites;
+  for (const Conjunction &Term : Terms)
+    Sites.insert(Sites.end(), Term.Sites.begin(), Term.Sites.end());
+  std::sort(Sites.begin(), Sites.end());
+  Sites.erase(std::unique(Sites.begin(), Sites.end()), Sites.end());
+  return Sites;
+}
+
+std::string Selector::describe(const Program &Prog) const {
+  std::string Text;
+  for (size_t T = 0; T < Terms.size(); ++T) {
+    if (T)
+      Text += " | ";
+    Text += "(";
+    for (size_t S = 0; S < Terms[T].Sites.size(); ++S) {
+      if (S)
+        Text += " & ";
+      Text += Prog.callSite(Terms[T].Sites[S]).Label;
+    }
+    Text += ")";
+  }
+  return Text.empty() ? "(false)" : Text;
+}
+
+CompiledSelector halo::compileSelector(const Selector &Sel,
+                                       const InstrumentationPlan &Plan) {
+  CompiledSelector Compiled;
+  for (const Conjunction &Term : Sel.Terms) {
+    std::vector<uint64_t> Mask((Plan.numBits() + 63) / 64, 0);
+    for (CallSiteId Site : Term.Sites) {
+      int32_t Bit = Plan.bitFor(Site);
+      assert(Bit >= 0 && "selector site missing from instrumentation plan");
+      Mask[Bit / 64] |= uint64_t(1) << (Bit % 64);
+    }
+    Compiled.Masks.push_back(std::move(Mask));
+  }
+  return Compiled;
+}

@@ -1,0 +1,72 @@
+//===- identify/Selector.h - Group selectors ---------------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selectors (Section 4.3): logical expressions in disjunctive normal form
+/// that decide whether an allocation belongs to a group based on whether the
+/// flow of control has passed through a certain set of call sites. At
+/// runtime a selector is evaluated against the group state vector; for that
+/// it is compiled into bit masks through the instrumentation plan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_IDENTIFY_SELECTOR_H
+#define HALO_IDENTIFY_SELECTOR_H
+
+#include "prog/GroupStateVector.h"
+#include "prog/Instrumentation.h"
+#include "prog/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace halo {
+
+/// One conjunctive term: "control has passed through every one of these
+/// call sites". Sites are kept sorted and unique.
+struct Conjunction {
+  std::vector<CallSiteId> Sites;
+
+  /// True if every site is present in \p Chain (a sorted site list).
+  bool matchesChain(const std::vector<CallSiteId> &Chain) const;
+};
+
+/// A selector in disjunctive normal form: the allocation belongs to the
+/// group if any conjunction holds.
+struct Selector {
+  std::vector<Conjunction> Terms;
+
+  bool matchesChain(const std::vector<CallSiteId> &Chain) const;
+
+  /// Every call site referenced by this selector (sorted, unique) -- the
+  /// points of interest the BOLT pass must instrument.
+  std::vector<CallSiteId> referencedSites() const;
+
+  std::string describe(const Program &Prog) const;
+};
+
+/// A selector lowered to group-state bit masks for O(words) evaluation.
+struct CompiledSelector {
+  /// One mask per conjunction; the selector matches if any mask is fully
+  /// contained in the state vector.
+  std::vector<std::vector<uint64_t>> Masks;
+
+  bool matches(const GroupStateVector &State) const {
+    for (const std::vector<uint64_t> &Mask : Masks)
+      if (State.containsAll(Mask))
+        return true;
+    return false;
+  }
+};
+
+/// Lowers \p Sel against \p Plan; every referenced site must be in the plan.
+CompiledSelector compileSelector(const Selector &Sel,
+                                 const InstrumentationPlan &Plan);
+
+} // namespace halo
+
+#endif // HALO_IDENTIFY_SELECTOR_H

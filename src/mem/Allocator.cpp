@@ -1,0 +1,8 @@
+//===- mem/Allocator.cpp - Heap allocator interface -----------------------===//
+
+#include "mem/Allocator.h"
+
+using namespace halo;
+
+// Out-of-line virtual method anchor.
+Allocator::~Allocator() = default;

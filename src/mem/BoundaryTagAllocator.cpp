@@ -1,0 +1,109 @@
+//===- mem/BoundaryTagAllocator.cpp - ptmalloc-like baseline --------------===//
+
+#include "mem/BoundaryTagAllocator.h"
+
+#include <cassert>
+
+using namespace halo;
+
+/// Heap extension granule, standing in for sbrk growth / per-arena mmap.
+static constexpr uint64_t HeapSegment = 1 << 20;
+/// Minimum chunk worth splitting off as a remainder.
+static constexpr uint64_t MinChunk = 32;
+
+BoundaryTagAllocator::BoundaryTagAllocator(uint64_t ArenaBase)
+    : Arena(ArenaBase) {
+  FastBins.resize(MaxFastChunk / 16 + 1);
+}
+
+uint64_t BoundaryTagAllocator::chunkSizeFor(uint64_t Size) {
+  if (Size == 0)
+    Size = 1;
+  uint64_t Chunk = (Size + HeaderSize + 15) & ~uint64_t(15);
+  return Chunk < MinChunk ? MinChunk : Chunk;
+}
+
+uint64_t BoundaryTagAllocator::allocate(const AllocRequest &Request) {
+  uint64_t Size = Request.Size ? Request.Size : 1;
+  uint64_t Need = chunkSizeFor(Size);
+
+  uint64_t Granted = Need;
+  uint64_t Base = takeFromBins(Need, Granted);
+  if (!Base)
+    Base = extendHeap(Need);
+
+  Arena.touch(Base, Granted);
+  LiveChunks.emplace(Base, ChunkInfo{Granted, Size});
+  Live += Size;
+  return Base + HeaderSize;
+}
+
+uint64_t BoundaryTagAllocator::takeFromBins(uint64_t Need,
+                                            uint64_t &Granted) {
+  Granted = Need;
+  // Exact-size fast path.
+  if (Need <= MaxFastChunk) {
+    std::vector<uint64_t> &Bin = FastBins[Need / 16];
+    if (!Bin.empty()) {
+      uint64_t Base = Bin.back();
+      Bin.pop_back();
+      return Base;
+    }
+  }
+  // Best fit from the sorted bin, splitting the remainder like ptmalloc.
+  auto It = SortedBin.lower_bound(Need);
+  if (It == SortedBin.end())
+    return 0;
+  uint64_t ChunkSize = It->first;
+  uint64_t Base = It->second.back();
+  It->second.pop_back();
+  if (It->second.empty())
+    SortedBin.erase(It);
+  if (ChunkSize - Need >= MinChunk)
+    binChunk(Base + Need, ChunkSize - Need);
+  else
+    Granted = ChunkSize; // Absorb the unsplittable tail.
+  return Base;
+}
+
+uint64_t BoundaryTagAllocator::extendHeap(uint64_t Need) {
+  if (TopCursor + Need > TopEnd) {
+    // Bin whatever is left of the current segment, then grow.
+    if (TopEnd > TopCursor && TopEnd - TopCursor >= MinChunk)
+      binChunk(TopCursor, TopEnd - TopCursor);
+    uint64_t Segment = Need > HeapSegment ? Need : HeapSegment;
+    Segment =
+        (Segment + VirtualArena::PageSize - 1) & ~(VirtualArena::PageSize - 1);
+    TopCursor = Arena.reserve(Segment);
+    TopEnd = TopCursor + Segment;
+  }
+  uint64_t Base = TopCursor;
+  TopCursor += Need;
+  return Base;
+}
+
+void BoundaryTagAllocator::binChunk(uint64_t Base, uint64_t ChunkSize) {
+  assert(ChunkSize >= MinChunk && "binning an undersized chunk");
+  if (ChunkSize <= MaxFastChunk && ChunkSize % 16 == 0)
+    FastBins[ChunkSize / 16].push_back(Base);
+  else
+    SortedBin[ChunkSize].push_back(Base);
+}
+
+void BoundaryTagAllocator::deallocate(uint64_t Addr) {
+  auto It = LiveChunks.find(Addr - HeaderSize);
+  assert(It != LiveChunks.end() && "freeing unknown address");
+  Live -= It->second.Requested;
+  binChunk(It->first, It->second.ChunkSize);
+  LiveChunks.erase(It);
+}
+
+bool BoundaryTagAllocator::owns(uint64_t Addr) const {
+  return LiveChunks.count(Addr - HeaderSize) != 0;
+}
+
+uint64_t BoundaryTagAllocator::usableSize(uint64_t Addr) const {
+  auto It = LiveChunks.find(Addr - HeaderSize);
+  assert(It != LiveChunks.end() && "querying unknown address");
+  return It->second.ChunkSize - HeaderSize;
+}

@@ -1,0 +1,79 @@
+//===- mem/RandomPoolAllocator.cpp - Fig. 15 sensitivity probe ------------===//
+
+#include "mem/RandomPoolAllocator.h"
+
+#include <cassert>
+
+using namespace halo;
+
+RandomPoolAllocator::RandomPoolAllocator(Allocator &Backing, uint64_t Seed,
+                                         uint64_t ArenaBase)
+    : Backing(Backing), Arena(ArenaBase), Random(Seed) {}
+
+uint64_t RandomPoolAllocator::allocate(const AllocRequest &Request) {
+  uint64_t Size = Request.Size ? Request.Size : 1;
+  if (Size >= VirtualArena::PageSize)
+    return Backing.allocate(Request);
+
+  Pool &P = Pools[Random.nextBelow(PoolCount)];
+  uint64_t Aligned = (Size + MinAlign - 1) & ~(MinAlign - 1);
+  if (P.Cursor + Aligned > P.End) {
+    if (P.End != 0) {
+      // Retire the old current chunk; free it if it already drained.
+      auto It = Chunks.find(P.End - PoolChunkSize);
+      assert(It != Chunks.end() && "pool chunk missing");
+      It->second.Current = false;
+      if (It->second.LiveRegions == 0) {
+        Arena.release(It->first);
+        Chunks.erase(It);
+      }
+    }
+    P.Cursor = Arena.reserve(PoolChunkSize, PoolChunkSize);
+    P.End = P.Cursor + PoolChunkSize;
+    Chunks[P.Cursor] = ChunkState{0, true};
+  }
+  uint64_t Addr = P.Cursor;
+  P.Cursor += Aligned;
+  uint64_t ChunkBase = P.End - PoolChunkSize;
+  ++Chunks[ChunkBase].LiveRegions;
+  Arena.touch(Addr, Size);
+  Regions.emplace(Addr, RegionInfo{Size, ChunkBase});
+  Live += Size;
+  return Addr;
+}
+
+void RandomPoolAllocator::deallocate(uint64_t Addr) {
+  auto It = Regions.find(Addr);
+  if (It == Regions.end()) {
+    Backing.deallocate(Addr);
+    return;
+  }
+  Live -= It->second.Size;
+  auto Chunk = Chunks.find(It->second.ChunkBase);
+  assert(Chunk != Chunks.end() && "region without chunk");
+  assert(Chunk->second.LiveRegions > 0 && "double free in pool chunk");
+  if (--Chunk->second.LiveRegions == 0 && !Chunk->second.Current) {
+    Arena.release(Chunk->first);
+    Chunks.erase(Chunk);
+  }
+  Regions.erase(It);
+}
+
+bool RandomPoolAllocator::owns(uint64_t Addr) const {
+  return Regions.count(Addr) || Backing.owns(Addr);
+}
+
+uint64_t RandomPoolAllocator::usableSize(uint64_t Addr) const {
+  auto It = Regions.find(Addr);
+  if (It != Regions.end())
+    return It->second.Size;
+  return Backing.usableSize(Addr);
+}
+
+uint64_t RandomPoolAllocator::liveBytes() const {
+  return Live + Backing.liveBytes();
+}
+
+uint64_t RandomPoolAllocator::residentBytes() const {
+  return Arena.residentBytes() + Backing.residentBytes();
+}

@@ -1,0 +1,114 @@
+//===- mem/SizeClassAllocator.cpp - jemalloc-like baseline ----------------===//
+
+#include "mem/SizeClassAllocator.h"
+
+#include <cassert>
+
+using namespace halo;
+
+SizeClassAllocator::SizeClassAllocator(uint64_t ArenaBase) : Arena(ArenaBase) {
+  // jemalloc-style class ladder: 8, 16, then 16-byte spacing up to 128,
+  // then groups of four classes with doubling spacing up to MaxSmall.
+  ClassSizes.push_back(8);
+  ClassSizes.push_back(16);
+  for (uint64_t Size = 32; Size <= 128; Size += 16)
+    ClassSizes.push_back(Size);
+  for (uint64_t Spacing = 32; ClassSizes.back() < MaxSmall; Spacing *= 2)
+    for (int I = 0; I < 4 && ClassSizes.back() < MaxSmall; ++I)
+      ClassSizes.push_back(ClassSizes.back() + Spacing);
+  Classes.resize(ClassSizes.size());
+
+  // Dense lookup table: quantum-spaced (8-byte) request size -> class index.
+  SizeToClass.resize(MaxSmall / 8);
+  uint32_t Class = 0;
+  for (uint64_t Quantum = 0; Quantum < SizeToClass.size(); ++Quantum) {
+    uint64_t Size = (Quantum + 1) * 8;
+    while (ClassSizes[Class] < Size)
+      ++Class;
+    assert(Class < ClassSizes.size() && "size beyond class ladder");
+    SizeToClass[Quantum] = static_cast<uint8_t>(Class);
+  }
+}
+
+uint32_t SizeClassAllocator::classIndexFor(uint64_t Size) const {
+  assert(Size > 0 && Size <= MaxSmall && "not a small size");
+  return SizeToClass[(Size - 1) / 8];
+}
+
+uint64_t SizeClassAllocator::sizeClassFor(uint64_t Size) const {
+  if (Size == 0)
+    Size = 1;
+  if (Size > MaxSmall)
+    return (Size + VirtualArena::PageSize - 1) & ~(VirtualArena::PageSize - 1);
+  return ClassSizes[classIndexFor(Size)];
+}
+
+uint64_t SizeClassAllocator::allocate(const AllocRequest &Request) {
+  uint64_t Size = Request.Size ? Request.Size : 1;
+  uint64_t Addr = Size > MaxSmall ? allocateLarge(Size) : allocateSmall(Size);
+  Live += Size;
+  return Addr;
+}
+
+uint64_t SizeClassAllocator::allocateSmall(uint64_t Size) {
+  uint32_t Index = classIndexFor(Size);
+  ClassState &State = Classes[Index];
+  uint64_t ObjectSize = ClassSizes[Index];
+
+  uint64_t Addr;
+  if (!State.FreeList.empty()) {
+    // Recently freed objects are reused first (LIFO), like real allocators.
+    Addr = State.FreeList.back();
+    State.FreeList.pop_back();
+  } else {
+    if (State.RunCursor + ObjectSize > State.RunEnd) {
+      // Carve a fresh run for this class: at least a page, at least 64
+      // objects, so same-class allocations land contiguously.
+      uint64_t RunSize = ObjectSize * 64;
+      if (RunSize < VirtualArena::PageSize)
+        RunSize = VirtualArena::PageSize;
+      State.RunCursor = Arena.reserve(RunSize);
+      State.RunEnd = State.RunCursor + RunSize;
+    }
+    Addr = State.RunCursor;
+    State.RunCursor += ObjectSize;
+  }
+  Arena.touch(Addr, ObjectSize);
+  Regions.emplace(Addr, RegionInfo{Index, static_cast<uint32_t>(Size)});
+  return Addr;
+}
+
+uint64_t SizeClassAllocator::allocateLarge(uint64_t Size) {
+  uint64_t Addr = Arena.reserve(Size);
+  Arena.touch(Addr, Size);
+  LargeRegions.emplace(Addr, Size);
+  return Addr;
+}
+
+void SizeClassAllocator::deallocate(uint64_t Addr) {
+  auto Small = Regions.find(Addr);
+  if (Small != Regions.end()) {
+    Live -= Small->second.Requested;
+    Classes[Small->second.ClassIndex].FreeList.push_back(Addr);
+    Regions.erase(Small);
+    return;
+  }
+  auto Large = LargeRegions.find(Addr);
+  assert(Large != LargeRegions.end() && "freeing unknown address");
+  Live -= Large->second;
+  Arena.release(Addr);
+  LargeRegions.erase(Large);
+}
+
+bool SizeClassAllocator::owns(uint64_t Addr) const {
+  return Regions.count(Addr) || LargeRegions.count(Addr);
+}
+
+uint64_t SizeClassAllocator::usableSize(uint64_t Addr) const {
+  auto Small = Regions.find(Addr);
+  if (Small != Regions.end())
+    return ClassSizes[Small->second.ClassIndex];
+  auto Large = LargeRegions.find(Addr);
+  assert(Large != LargeRegions.end() && "querying unknown address");
+  return Large->second;
+}

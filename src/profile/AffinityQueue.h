@@ -1,0 +1,76 @@
+//===- profile/AffinityQueue.h - Recent-access window -----------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The affinity queue of Section 4.1 / Figure 5: a window over the most
+/// recently accessed heap objects, implicitly sized by the affinity
+/// distance A. A pair of entries is affinitive when the sizes of the
+/// entries between them sum to less than A bytes; operationally, an older
+/// entry is affinitive to the newest while any of its bytes overlap the
+/// window holding the last A bytes worth of accesses (which reproduces
+/// Figure 5's seven-neighbour example exactly). The queue enforces two of
+/// the paper's four constraints itself -- deduplication (consecutive
+/// machine accesses to one object form a single macro access and do not
+/// re-trigger traversal) and no double counting (each unique object is
+/// reported at most once per traversal); no self-affinity and
+/// co-allocatability are applied by the caller, which owns the metadata.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_PROFILE_AFFINITYQUEUE_H
+#define HALO_PROFILE_AFFINITYQUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace halo {
+
+/// Sliding window of recent macro-level accesses.
+class AffinityQueue {
+public:
+  struct Entry {
+    uint32_t Object;
+    uint32_t Node;     ///< The object's allocation context.
+    uint64_t AllocSeq; ///< The object's allocation sequence number.
+    uint64_t Bytes;    ///< Macro-access size (merged machine accesses).
+    uint64_t CumStart; ///< Byte position of this entry's start.
+  };
+
+  /// \p Distance is the affinity distance A. \p Dedup / \p NoDoubleCount
+  /// allow the ablation benches to disable those constraints.
+  explicit AffinityQueue(uint64_t Distance, bool Dedup = true,
+                         bool NoDoubleCount = true);
+
+  /// Records an access of \p Bytes to \p Object. Returns the affinitive
+  /// candidates (older entries within the window, deduplicated, never the
+  /// object itself), or an empty list when the access merged into the
+  /// previous macro access. The returned reference is valid until the next
+  /// push.
+  const std::vector<Entry> &push(uint32_t Object, uint32_t Node,
+                                 uint64_t AllocSeq, uint64_t Bytes);
+
+  /// True if the most recent push merged into the previous macro access
+  /// (and therefore was not a new access at all).
+  bool lastPushMerged() const { return LastMerged; }
+
+  uint64_t size() const { return Window.size(); }
+  uint64_t distance() const { return Distance; }
+
+private:
+  uint64_t Distance;
+  bool Dedup;
+  bool NoDoubleCount;
+  bool LastMerged = false;
+  std::deque<Entry> Window;
+  uint64_t NextCum = 0;
+  std::vector<Entry> Candidates;
+  std::vector<uint32_t> SeenObjects; ///< Scratch for per-traversal dedup.
+};
+
+} // namespace halo
+
+#endif // HALO_PROFILE_AFFINITYQUEUE_H

@@ -1,0 +1,87 @@
+//===- profile/HeapProfiler.cpp - Pin-tool equivalent ----------------------===//
+
+#include "profile/HeapProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace halo;
+
+HeapProfiler::HeapProfiler(const Program &Prog, const ProfileOptions &Options)
+    : Prog(Prog), Options(Options), Shadow(Prog),
+      Queue(Options.AffinityDistance, Options.Dedup, Options.NoDoubleCount) {}
+
+void HeapProfiler::onCall(CallSiteId Site) { Shadow.onCall(Site); }
+
+void HeapProfiler::onReturn(CallSiteId) { Shadow.onReturn(); }
+
+void HeapProfiler::onAlloc(uint64_t Addr, uint64_t Size,
+                           CallSiteId MallocSite) {
+  ContextId Ctx = Contexts.intern(Shadow.allocationContext(MallocSite));
+  ++Contexts.info(Ctx).Allocations;
+  ObjectId Obj = Objects.insert(Addr, Size, Ctx, MallocSite);
+  if (Ctx >= AllocSeqsByCtx.size())
+    AllocSeqsByCtx.resize(Ctx + 1);
+  AllocSeqsByCtx[Ctx].push_back(Objects.record(Obj).AllocSeq);
+}
+
+void HeapProfiler::onFree(uint64_t Addr) { Objects.erase(Addr); }
+
+bool HeapProfiler::coAllocatable(const AffinityQueue::Entry &New,
+                                 const AffinityQueue::Entry &Old,
+                                 ContextId NewCtx) const {
+  // Co-allocatability: no allocation made chronologically between u and v
+  // may originate from either of their contexts; otherwise placing all
+  // allocations of the two contexts contiguously in one pool could not
+  // have put u and v next to each other.
+  uint64_t Lo = std::min(New.AllocSeq, Old.AllocSeq);
+  uint64_t Hi = std::max(New.AllocSeq, Old.AllocSeq);
+  for (ContextId Ctx : {NewCtx, static_cast<ContextId>(Old.Node)}) {
+    if (Ctx >= AllocSeqsByCtx.size())
+      continue;
+    const std::vector<uint64_t> &Seqs = AllocSeqsByCtx[Ctx];
+    // Any sequence number strictly inside (Lo, Hi)?
+    auto It = std::upper_bound(Seqs.begin(), Seqs.end(), Lo);
+    if (It != Seqs.end() && *It < Hi)
+      return false;
+  }
+  return true;
+}
+
+void HeapProfiler::onAccess(uint64_t Addr, uint64_t Size, bool) {
+  ObjectId Obj = Objects.find(Addr);
+  if (Obj == ~0u)
+    return; // Not a (live) heap object: stack/global traffic.
+  const ObjectRecord &Rec = Objects.record(Obj);
+
+  if (Options.RecordReferenceTrace &&
+      (RefTrace.empty() || RefTrace.back() != Obj))
+    RefTrace.push_back(Obj);
+
+  // The affinity analysis only considers groupable objects.
+  if (Rec.Size > Options.MaxObjectSize)
+    return;
+
+  const std::vector<AffinityQueue::Entry> &Partners =
+      Queue.push(Obj, Rec.Ctx, Rec.AllocSeq, Size);
+  // A merged (deduplicated) access extends the previous macro access and
+  // contributes nothing further.
+  if (Queue.lastPushMerged())
+    return;
+  ++MacroAccesses;
+  Graph.addAccesses(Rec.Ctx);
+
+  AffinityQueue::Entry New{Obj, Rec.Ctx, Rec.AllocSeq, Size, 0};
+  for (const AffinityQueue::Entry &Old : Partners) {
+    if (Options.CoAllocatability && !coAllocatable(New, Old, Rec.Ctx))
+      continue;
+    Graph.addEdgeWeight(Rec.Ctx, Old.Node);
+  }
+}
+
+AffinityGraph HeapProfiler::takeGraph() {
+  assert(!Taken && "takeGraph may only be called once");
+  Taken = true;
+  Graph.filterColdNodes(Options.NodeCoverage);
+  return std::move(Graph);
+}

@@ -1,0 +1,104 @@
+//===- profile/HeapProfiler.h - Pin-tool equivalent -------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiling stage of Section 4.1, playing the role of the paper's
+/// custom Pin tool. It observes the runtime's event stream, maintains the
+/// shadow stack and live-object map, feeds heap accesses through the
+/// affinity queue, and accumulates the pairwise affinity graph under the
+/// four constraints (deduplication, no self-affinity, no double counting,
+/// co-allocatability). After the run the graph's coldest nodes are filtered
+/// so the surviving nodes cover 90% of observed accesses.
+///
+/// It can additionally record the object-level reference trace that the
+/// hot-data-streams comparison technique (hds/) consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_PROFILE_HEAPPROFILER_H
+#define HALO_PROFILE_HEAPPROFILER_H
+
+#include "graph/AffinityGraph.h"
+#include "profile/AffinityQueue.h"
+#include "profile/LiveObjectMap.h"
+#include "runtime/Runtime.h"
+#include "trace/Context.h"
+#include "trace/ShadowStack.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace halo {
+
+/// Profiling configuration (defaults follow Section 5.1).
+struct ProfileOptions {
+  /// Affinity distance A in bytes (the paper selects 128 from Fig. 12).
+  uint64_t AffinityDistance = 128;
+  /// Keep the hottest nodes covering this fraction of accesses.
+  double NodeCoverage = 0.9;
+  /// Maximum grouped-object size: accesses to larger objects do not enter
+  /// the affinity analysis (4 KiB in the evaluation).
+  uint64_t MaxObjectSize = 4096;
+  /// Constraint toggles for bench/ablation_constraints.
+  bool Dedup = true;
+  bool NoDoubleCount = true;
+  bool CoAllocatability = true;
+  /// Record the object-level reference trace (needed by hds/).
+  bool RecordReferenceTrace = false;
+};
+
+/// Builds the affinity graph (and optional reference trace) from a run.
+class HeapProfiler : public RuntimeObserver {
+public:
+  HeapProfiler(const Program &Prog, const ProfileOptions &Options);
+
+  // RuntimeObserver interface.
+  void onCall(CallSiteId Site) override;
+  void onReturn(CallSiteId Site) override;
+  void onAlloc(uint64_t Addr, uint64_t Size, CallSiteId MallocSite) override;
+  void onFree(uint64_t Addr) override;
+  void onAccess(uint64_t Addr, uint64_t Size, bool IsStore) override;
+
+  /// Finalises and returns the affinity graph: cold nodes filtered per
+  /// NodeCoverage. Call once, after the profiled run.
+  AffinityGraph takeGraph();
+
+  /// The interned contexts (node ids in the graph are ContextIds here).
+  const ContextTable &contexts() const { return Contexts; }
+  ContextTable &contexts() { return Contexts; }
+
+  /// All object metadata, indexed by ObjectId.
+  const LiveObjectMap &objects() const { return Objects; }
+
+  /// The object-level reference trace (consecutive duplicates merged);
+  /// empty unless RecordReferenceTrace was set.
+  const std::vector<ObjectId> &referenceTrace() const { return RefTrace; }
+
+  /// Total macro-level heap accesses observed.
+  uint64_t totalAccesses() const { return MacroAccesses; }
+
+private:
+  bool coAllocatable(const AffinityQueue::Entry &New,
+                     const AffinityQueue::Entry &Old, ContextId NewCtx) const;
+
+  const Program &Prog;
+  ProfileOptions Options;
+  ShadowStack Shadow;
+  ContextTable Contexts;
+  LiveObjectMap Objects;
+  AffinityQueue Queue;
+  AffinityGraph Graph;
+  /// Per-context allocation sequence numbers (sorted by construction), used
+  /// for the co-allocatability test.
+  std::vector<std::vector<uint64_t>> AllocSeqsByCtx;
+  std::vector<ObjectId> RefTrace;
+  uint64_t MacroAccesses = 0;
+  bool Taken = false;
+};
+
+} // namespace halo
+
+#endif // HALO_PROFILE_HEAPPROFILER_H

@@ -1,0 +1,69 @@
+//===- profile/LiveObjectMap.h - Live heap-object tracking -----*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiler's view of the live heap: every allocation is tracked "at an
+/// object-level granularity" (Section 4.1) so loads and stores can be
+/// attributed to the object (and hence the allocation context) they touch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_PROFILE_LIVEOBJECTMAP_H
+#define HALO_PROFILE_LIVEOBJECTMAP_H
+
+#include "trace/Context.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace halo {
+
+using ObjectId = uint32_t;
+
+/// Immutable per-object metadata, kept for the lifetime of the profile so
+/// traces can refer to freed objects.
+struct ObjectRecord {
+  uint64_t Addr = 0;
+  uint64_t Size = 0;
+  ContextId Ctx = InvalidId;
+  CallSiteId ImmediateSite = InvalidId; ///< malloc call site (for HDS).
+  uint64_t AllocSeq = 0; ///< Global allocation sequence number.
+};
+
+/// Interval map from addresses to live heap objects.
+class LiveObjectMap {
+public:
+  /// Registers a new live object; returns its id. \p Addr must not overlap
+  /// any live object.
+  ObjectId insert(uint64_t Addr, uint64_t Size, ContextId Ctx,
+                  CallSiteId ImmediateSite);
+
+  /// Removes the live object starting at \p Addr; returns its id.
+  ObjectId erase(uint64_t Addr);
+
+  /// Finds the live object containing \p Addr, or ~0u ("not a heap object").
+  ObjectId find(uint64_t Addr) const;
+
+  /// Metadata of any ever-allocated object (live or freed).
+  const ObjectRecord &record(ObjectId Id) const {
+    assert(Id < Records.size() && "bad object id");
+    return Records[Id];
+  }
+
+  uint64_t liveCount() const { return ByAddr.size(); }
+  uint64_t totalAllocated() const { return Records.size(); }
+  uint64_t nextSequence() const { return NextSeq; }
+
+private:
+  std::map<uint64_t, ObjectId> ByAddr; ///< start addr -> live object.
+  std::vector<ObjectRecord> Records;   ///< by ObjectId, never shrinks.
+  uint64_t NextSeq = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_PROFILE_LIVEOBJECTMAP_H

@@ -1,0 +1,5 @@
+//===- prog/GroupStateVector.cpp - Shared identification bits --------------===//
+
+#include "prog/GroupStateVector.h"
+
+// Header-only today; this file anchors the library.

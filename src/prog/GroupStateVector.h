@@ -1,0 +1,80 @@
+//===- prog/GroupStateVector.h - Shared identification bits -----*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared "group state" bit vector of Section 4.3: the BOLT pass inserts
+/// instructions around every call site of interest that set and then unset a
+/// single bit, indicating whether the flow of control is currently beneath
+/// that site. The specialised allocator matches group selectors against
+/// these bits on every allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_PROG_GROUPSTATEVECTOR_H
+#define HALO_PROG_GROUPSTATEVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace halo {
+
+/// A plain bit vector with mask matching. Set/unset are deliberately naive
+/// (no nesting counters): the inserted code is a straight-line bit set before
+/// the call and a bit clear after it, so recursive calls through one site
+/// clear the bit on the innermost return -- faithfully reproducing the
+/// prototype's behaviour.
+class GroupStateVector {
+public:
+  GroupStateVector() = default;
+  explicit GroupStateVector(uint32_t Bits) { resize(Bits); }
+
+  void resize(uint32_t Bits) {
+    NumBits = Bits;
+    Words.assign((Bits + 63) / 64, 0);
+  }
+
+  uint32_t numBits() const { return NumBits; }
+
+  void set(uint32_t Bit) {
+    assert(Bit < NumBits && "bit out of range");
+    Words[Bit / 64] |= uint64_t(1) << (Bit % 64);
+  }
+
+  void unset(uint32_t Bit) {
+    assert(Bit < NumBits && "bit out of range");
+    Words[Bit / 64] &= ~(uint64_t(1) << (Bit % 64));
+  }
+
+  bool test(uint32_t Bit) const {
+    assert(Bit < NumBits && "bit out of range");
+    return (Words[Bit / 64] >> (Bit % 64)) & 1;
+  }
+
+  /// True if every bit of \p Mask is set here. \p Mask must have been built
+  /// against the same bit width (shorter masks are allowed and treated as
+  /// zero-extended).
+  bool containsAll(const std::vector<uint64_t> &Mask) const {
+    assert(Mask.size() <= Words.size() && "mask wider than state");
+    for (std::size_t I = 0; I < Mask.size(); ++I)
+      if ((Words[I] & Mask[I]) != Mask[I])
+        return false;
+    return true;
+  }
+
+  void clear() { Words.assign(Words.size(), 0); }
+
+  const std::vector<uint64_t> &words() const { return Words; }
+
+private:
+  uint32_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace halo
+
+#endif // HALO_PROG_GROUPSTATEVECTOR_H

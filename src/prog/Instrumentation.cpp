@@ -1,0 +1,18 @@
+//===- prog/Instrumentation.cpp - BOLT-style rewriting pass ----------------===//
+
+#include "prog/Instrumentation.h"
+
+using namespace halo;
+
+InstrumentationPlan::InstrumentationPlan(const Program &Prog,
+                                         const std::vector<CallSiteId> &Sites) {
+  BitBySite.assign(Prog.numCallSites(), -1);
+  for (CallSiteId Site : Sites) {
+    assert(Site < Prog.numCallSites() && "instrumenting unknown call site");
+    if (BitBySite[Site] != -1)
+      continue;
+    BitBySite[Site] = static_cast<int32_t>(NumBits++);
+    this->Sites.push_back(Site);
+    ++NumSites;
+  }
+}

@@ -1,0 +1,60 @@
+//===- prog/Instrumentation.h - BOLT-style rewriting pass ------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The post-link rewriting step of Section 4.3. The paper implements a
+/// custom BOLT pass that inserts set/unset instructions around every call
+/// site of interest; here the "rewritten binary" is an InstrumentationPlan
+/// mapping each selected call site to its bit in the group state vector.
+/// The runtime consults the plan on every call/return, performing exactly
+/// the state updates the inserted instructions would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_PROG_INSTRUMENTATION_H
+#define HALO_PROG_INSTRUMENTATION_H
+
+#include "prog/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace halo {
+
+/// Maps instrumented call sites to group-state bits.
+class InstrumentationPlan {
+public:
+  InstrumentationPlan() = default;
+
+  /// Builds a plan over \p Prog instrumenting exactly \p Sites, assigning
+  /// bits in the order given. Duplicate sites share a bit. This is the
+  /// moral equivalent of running the custom BOLT heap-layout pass.
+  InstrumentationPlan(const Program &Prog,
+                      const std::vector<CallSiteId> &Sites);
+
+  /// Returns the bit index for \p Site, or -1 if it is not instrumented.
+  int32_t bitFor(CallSiteId Site) const {
+    if (Site >= BitBySite.size())
+      return -1;
+    return BitBySite[Site];
+  }
+
+  uint32_t numBits() const { return NumBits; }
+  uint32_t numInstrumentedSites() const { return NumSites; }
+
+  /// The instrumented sites in bit order (for reports and tests).
+  const std::vector<CallSiteId> &sites() const { return Sites; }
+
+private:
+  std::vector<int32_t> BitBySite; ///< site -> bit or -1.
+  std::vector<CallSiteId> Sites;
+  uint32_t NumBits = 0;
+  uint32_t NumSites = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_PROG_INSTRUMENTATION_H

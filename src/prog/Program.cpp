@@ -1,0 +1,30 @@
+//===- prog/Program.cpp - Synthetic binary model ---------------------------===//
+
+#include "prog/Program.h"
+
+using namespace halo;
+
+Program::Program() {
+  MallocFunction = addFunction("malloc", /*IsExternal=*/true,
+                               /*IsTraceable=*/true);
+}
+
+FunctionId Program::addFunction(std::string Name, bool IsExternal,
+                                bool IsTraceable) {
+  assert((!IsTraceable || IsExternal) &&
+         "only external functions can be traceable");
+  Functions.push_back(FunctionInfo{std::move(Name), IsExternal, IsTraceable});
+  return static_cast<FunctionId>(Functions.size() - 1);
+}
+
+CallSiteId Program::addCallSite(FunctionId Caller, FunctionId Callee,
+                                std::string Label) {
+  assert(Caller < Functions.size() && "bad caller");
+  assert(Callee < Functions.size() && "bad callee");
+  CallSites.push_back(CallSiteInfo{std::move(Label), Caller, Callee});
+  return static_cast<CallSiteId>(CallSites.size() - 1);
+}
+
+CallSiteId Program::addMallocSite(FunctionId Caller, std::string Label) {
+  return addCallSite(Caller, MallocFunction, std::move(Label));
+}

@@ -1,0 +1,63 @@
+//===- sim/Cache.cpp - Set-associative cache model -------------------------===//
+
+#include "sim/Cache.h"
+
+#include <cassert>
+
+using namespace halo;
+
+static bool isPowerOfTwo(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+Cache::Cache(const CacheConfig &Config) : Config(Config) {
+  assert(isPowerOfTwo(Config.LineSize) && "line size must be a power of two");
+  assert(Config.Ways > 0 && "cache needs at least one way");
+  assert(Config.SizeBytes % (uint64_t(Config.Ways) * Config.LineSize) == 0 &&
+         "size must be divisible by way span");
+  Sets = static_cast<uint32_t>(Config.SizeBytes /
+                               (uint64_t(Config.Ways) * Config.LineSize));
+  assert(Sets > 0 && "cache has no sets");
+  Ways.resize(uint64_t(Sets) * Config.Ways);
+}
+
+bool Cache::access(uint64_t Addr) {
+  uint64_t Line = Addr / Config.LineSize;
+  uint32_t Set = static_cast<uint32_t>(Line % Sets);
+  uint64_t Tag = Line / Sets;
+  Way *Begin = &Ways[uint64_t(Set) * Config.Ways];
+  ++Clock;
+
+  Way *Victim = Begin;
+  for (Way *W = Begin; W != Begin + Config.Ways; ++W) {
+    if (W->Valid && W->Tag == Tag) {
+      W->LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (!W->Valid)
+      Victim = W; // Prefer filling an invalid way.
+    else if (Victim->Valid && W->LastUse < Victim->LastUse)
+      Victim = W;
+  }
+  ++Misses;
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+  return false;
+}
+
+bool Cache::contains(uint64_t Addr) const {
+  uint64_t Line = Addr / Config.LineSize;
+  uint32_t Set = static_cast<uint32_t>(Line % Sets);
+  uint64_t Tag = Line / Sets;
+  const Way *Begin = &Ways[uint64_t(Set) * Config.Ways];
+  for (const Way *W = Begin; W != Begin + Config.Ways; ++W)
+    if (W->Valid && W->Tag == Tag)
+      return true;
+  return false;
+}
+
+void Cache::reset() {
+  for (Way &W : Ways)
+    W = Way();
+  Clock = Hits = Misses = 0;
+}

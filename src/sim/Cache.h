@@ -1,0 +1,74 @@
+//===- sim/Cache.h - Set-associative cache model ---------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative, LRU, write-allocate cache model. The evaluation's
+/// memory hierarchy (sim/MemoryHierarchy.h) stacks three of these with the
+/// geometry of the paper's Xeon W-2195 (32 KiB L1D, 1 MiB L2, 24.75 MiB L3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SIM_CACHE_H
+#define HALO_SIM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace halo {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  uint64_t SizeBytes = 32 * 1024;
+  uint32_t Ways = 8;
+  uint32_t LineSize = 64;
+  std::string Name = "cache";
+};
+
+/// One level of set-associative cache with true-LRU replacement.
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Config);
+
+  /// Looks up the line containing \p Addr, inserting it on a miss (evicting
+  /// the LRU way). Returns true on hit.
+  bool access(uint64_t Addr);
+
+  /// Returns true if the line containing \p Addr is currently cached,
+  /// without updating replacement state (for tests).
+  bool contains(uint64_t Addr) const;
+
+  /// Drops all cached lines and resets statistics.
+  void reset();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t accesses() const { return Hits + Misses; }
+  double missRate() const {
+    return accesses() ? static_cast<double>(Misses) / accesses() : 0.0;
+  }
+
+  const CacheConfig &config() const { return Config; }
+  uint32_t numSets() const { return Sets; }
+
+private:
+  struct Way {
+    uint64_t Tag = ~0ull;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  CacheConfig Config;
+  uint32_t Sets;
+  std::vector<Way> Ways; ///< Sets * Config.Ways entries, set-major.
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_SIM_CACHE_H

@@ -1,0 +1,60 @@
+//===- sim/MemoryHierarchy.cpp - L1D/L2/L3 + TLB stack ---------------------===//
+
+#include "sim/MemoryHierarchy.h"
+
+using namespace halo;
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config)
+    : Config(Config), L1(Config.L1), L2(Config.L2), L3(Config.L3),
+      Dtlb(Config.TlbEntries, Config.TlbWays) {}
+
+uint64_t MemoryHierarchy::access(uint64_t Addr, uint64_t Size) {
+  if (Size == 0)
+    Size = 1;
+  uint64_t Line = Config.L1.LineSize;
+  uint64_t First = Addr & ~(Line - 1);
+  uint64_t Last = (Addr + Size - 1) & ~(Line - 1);
+  uint64_t Cycles = 0;
+  for (uint64_t LineAddr = First;; LineAddr += Line) {
+    Cycles += accessLine(LineAddr);
+    if (LineAddr == Last)
+      break;
+  }
+  return Cycles;
+}
+
+uint64_t MemoryHierarchy::accessLine(uint64_t LineAddr) {
+  const LatencyModel &Lat = Config.Latency;
+  uint64_t Cycles = 0;
+  if (!Dtlb.access(LineAddr))
+    Cycles += Lat.TlbMiss;
+  if (L1.access(LineAddr))
+    Cycles += Lat.L1Hit;
+  else if (L2.access(LineAddr))
+    Cycles += Lat.L2Hit;
+  else if (L3.access(LineAddr))
+    Cycles += Lat.L3Hit;
+  else
+    Cycles += Lat.Memory;
+  Stalls += Cycles;
+  return Cycles;
+}
+
+MemoryCounters MemoryHierarchy::counters() const {
+  MemoryCounters C;
+  C.Accesses = L1.accesses();
+  C.L1Misses = L1.misses();
+  C.L2Misses = L2.misses();
+  C.L3Misses = L3.misses();
+  C.TlbMisses = Dtlb.misses();
+  C.StallCycles = Stalls;
+  return C;
+}
+
+void MemoryHierarchy::reset() {
+  L1.reset();
+  L2.reset();
+  L3.reset();
+  Dtlb.reset();
+  Stalls = 0;
+}

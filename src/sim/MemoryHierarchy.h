@@ -1,0 +1,85 @@
+//===- sim/MemoryHierarchy.h - L1D/L2/L3 + TLB stack -----------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three cache levels plus a data TLB with a simple latency model. Default
+/// geometry matches the paper's evaluation machine (Intel Xeon W-2195):
+/// 32 KiB per-core L1D, 1024 KiB per-core L2, 25344 KiB shared L3.
+/// Workloads are single-threaded, as in the paper, so no coherence is
+/// modelled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SIM_MEMORYHIERARCHY_H
+#define HALO_SIM_MEMORYHIERARCHY_H
+
+#include "sim/Cache.h"
+#include "sim/Tlb.h"
+
+#include <cstdint>
+
+namespace halo {
+
+/// Cycle costs of each level. Values approximate Skylake-SP.
+struct LatencyModel {
+  uint32_t L1Hit = 4;
+  uint32_t L2Hit = 14;
+  uint32_t L3Hit = 68;
+  uint32_t Memory = 230;
+  uint32_t TlbMiss = 26;
+};
+
+/// Geometry of the whole hierarchy.
+struct HierarchyConfig {
+  CacheConfig L1{32 * 1024, 8, 64, "L1D"};
+  CacheConfig L2{1024 * 1024, 16, 64, "L2"};
+  CacheConfig L3{25344 * 1024, 11, 64, "L3"};
+  uint32_t TlbEntries = 64;
+  uint32_t TlbWays = 4;
+  LatencyModel Latency;
+};
+
+/// Counter snapshot for reporting.
+struct MemoryCounters {
+  uint64_t Accesses = 0;
+  uint64_t L1Misses = 0;
+  uint64_t L2Misses = 0;
+  uint64_t L3Misses = 0;
+  uint64_t TlbMisses = 0;
+  uint64_t StallCycles = 0;
+};
+
+/// An inclusive three-level data-cache hierarchy with a TLB.
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const HierarchyConfig &Config = HierarchyConfig());
+
+  /// Performs a data access of \p Size bytes at \p Addr (loads and stores
+  /// are treated alike: write-allocate, no write-back traffic modelled).
+  /// Every cache line the access touches is looked up. Returns the cycles
+  /// the access cost.
+  uint64_t access(uint64_t Addr, uint64_t Size);
+
+  MemoryCounters counters() const;
+  void reset();
+
+  const Cache &l1() const { return L1; }
+  const Cache &l2() const { return L2; }
+  const Cache &l3() const { return L3; }
+  const Tlb &tlb() const { return Dtlb; }
+
+private:
+  uint64_t accessLine(uint64_t LineAddr);
+
+  HierarchyConfig Config;
+  Cache L1, L2, L3;
+  Tlb Dtlb;
+  uint64_t Stalls = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_SIM_MEMORYHIERARCHY_H

@@ -1,0 +1,5 @@
+//===- sim/TimingModel.cpp - Execution time accounting ---------------------===//
+
+#include "sim/TimingModel.h"
+
+// TimingModel is header-only today; this file anchors the library.

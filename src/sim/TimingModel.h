@@ -1,0 +1,76 @@
+//===- sim/TimingModel.h - Execution time accounting -----------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulates an execution-time estimate for a workload run: explicit
+/// compute cycles (the part of the program that is not memory-bound),
+/// memory access cycles from the cache hierarchy, small fixed costs for
+/// allocator calls, and the cost of the set/unset instructions HALO's BOLT
+/// pass inserts (so bench/ablation_instrumentation can measure their
+/// overhead, which the paper finds to be below system noise).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SIM_TIMINGMODEL_H
+#define HALO_SIM_TIMINGMODEL_H
+
+#include <cstdint>
+
+namespace halo {
+
+/// Fixed per-event costs in cycles.
+struct CostModel {
+  uint32_t AllocCall = 20;      ///< malloc/free book-keeping cost.
+  uint32_t InstrumentationOp = 1; ///< One inserted set/unset instruction.
+  double CyclesPerSecond = 3.3e9; ///< W-2195 nominal clock.
+};
+
+/// Cycle accumulator for one simulated run.
+class TimingModel {
+public:
+  explicit TimingModel(const CostModel &Costs = CostModel()) : Costs(Costs) {}
+
+  void addCompute(uint64_t Cycles) { ComputeCycles += Cycles; }
+  void addMemory(uint64_t Cycles) { MemoryCycles += Cycles; }
+  void addAllocatorCall() { AllocatorCycles += Costs.AllocCall; }
+  void addInstrumentationOp() {
+    InstrumentationCycles += Costs.InstrumentationOp;
+    ++InstrumentationOps;
+  }
+
+  uint64_t computeCycles() const { return ComputeCycles; }
+  uint64_t memoryCycles() const { return MemoryCycles; }
+  uint64_t allocatorCycles() const { return AllocatorCycles; }
+  uint64_t instrumentationCycles() const { return InstrumentationCycles; }
+  uint64_t instrumentationOps() const { return InstrumentationOps; }
+
+  uint64_t totalCycles() const {
+    return ComputeCycles + MemoryCycles + AllocatorCycles +
+           InstrumentationCycles;
+  }
+
+  /// Estimated wall-clock seconds at the configured frequency.
+  double seconds() const {
+    return static_cast<double>(totalCycles()) / Costs.CyclesPerSecond;
+  }
+
+  void reset() {
+    ComputeCycles = MemoryCycles = AllocatorCycles = InstrumentationCycles =
+        InstrumentationOps = 0;
+  }
+
+private:
+  CostModel Costs;
+  uint64_t ComputeCycles = 0;
+  uint64_t MemoryCycles = 0;
+  uint64_t AllocatorCycles = 0;
+  uint64_t InstrumentationCycles = 0;
+  uint64_t InstrumentationOps = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_SIM_TIMINGMODEL_H

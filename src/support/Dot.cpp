@@ -1,0 +1,45 @@
+//===- support/Dot.cpp - Graphviz DOT emission ----------------------------===//
+
+#include "support/Dot.h"
+
+using namespace halo;
+
+DotWriter::DotWriter(std::string GraphName) : Name(std::move(GraphName)) {}
+
+std::string DotWriter::escape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void DotWriter::addNode(const std::string &Id, const std::string &Label,
+                        const std::string &Color) {
+  Nodes << "  \"" << escape(Id) << "\" [label=\"" << escape(Label) << "\"";
+  if (!Color.empty())
+    Nodes << ", style=filled, fillcolor=\"" << escape(Color) << "\"";
+  Nodes << "];\n";
+}
+
+void DotWriter::addEdge(const std::string &From, const std::string &To,
+                        double PenWidth, const std::string &Label) {
+  Edges << "  \"" << escape(From) << "\" -- \"" << escape(To)
+        << "\" [penwidth=" << PenWidth;
+  if (!Label.empty())
+    Edges << ", label=\"" << escape(Label) << "\"";
+  Edges << "];\n";
+}
+
+std::string DotWriter::str() const {
+  std::ostringstream Out;
+  Out << "graph \"" << escape(Name) << "\" {\n";
+  Out << "  node [shape=circle, fontsize=10];\n";
+  Out << Nodes.str();
+  Out << Edges.str();
+  Out << "}\n";
+  return Out.str();
+}

@@ -1,0 +1,51 @@
+//===- support/Dot.h - Graphviz DOT emission -------------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny Graphviz DOT writer used to render affinity graphs in the style of
+/// the paper's Figure 9 (nodes coloured by allocation group, edge thickness
+/// proportional to affinity weight).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_DOT_H
+#define HALO_SUPPORT_DOT_H
+
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace halo {
+
+/// Incrementally builds an undirected DOT graph.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName = "G");
+
+  /// Adds a node with optional display attributes. Node identifiers are
+  /// arbitrary strings; they are quoted on output.
+  void addNode(const std::string &Id, const std::string &Label,
+               const std::string &Color = "");
+
+  /// Adds an undirected edge with a pen width (used for affinity weight).
+  void addEdge(const std::string &From, const std::string &To,
+               double PenWidth = 1.0, const std::string &Label = "");
+
+  /// Renders the accumulated graph as DOT source.
+  std::string str() const;
+
+  /// Escapes \p Text for use inside a quoted DOT string.
+  static std::string escape(const std::string &Text);
+
+private:
+  std::string Name;
+  std::ostringstream Nodes;
+  std::ostringstream Edges;
+};
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_DOT_H

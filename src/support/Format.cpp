@@ -1,0 +1,41 @@
+//===- support/Format.cpp - Small formatting helpers ----------------------===//
+
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace halo;
+
+std::string halo::formatDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string halo::formatBytes(double Bytes) {
+  static const char *Units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int Unit = 0;
+  double Value = Bytes;
+  while (std::fabs(Value) >= 1024.0 && Unit < 4) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  return formatDouble(Value, Unit == 0 ? 0 : 2) + Units[Unit];
+}
+
+std::string halo::formatPercent(double Value, int Decimals) {
+  return formatDouble(Value, Decimals) + "%";
+}
+
+std::string halo::padLeft(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text.substr(0, Width);
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+std::string halo::padRight(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text.substr(0, Width);
+  return Text + std::string(Width - Text.size(), ' ');
+}

@@ -1,0 +1,38 @@
+//===- support/Format.h - Small formatting helpers -------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable formatting used by the benchmark harnesses when printing
+/// the paper's tables (byte quantities, percentages, fixed-width columns).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_FORMAT_H
+#define HALO_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace halo {
+
+/// Formats \p Bytes as a human-readable quantity ("31.98KiB", "2.05MiB").
+std::string formatBytes(double Bytes);
+
+/// Formats \p Value as a percentage with \p Decimals decimal places.
+std::string formatPercent(double Value, int Decimals = 2);
+
+/// Formats \p Value with \p Decimals decimal places.
+std::string formatDouble(double Value, int Decimals = 2);
+
+/// Left-pads or truncates \p Text to exactly \p Width characters.
+std::string padLeft(const std::string &Text, size_t Width);
+
+/// Right-pads or truncates \p Text to exactly \p Width characters.
+std::string padRight(const std::string &Text, size_t Width);
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_FORMAT_H

@@ -1,0 +1,82 @@
+//===- support/Rng.cpp - Deterministic pseudo-random numbers -------------===//
+
+#include "support/Rng.h"
+
+using namespace halo;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  for (uint64_t &Word : State)
+    Word = splitMix64(Seed);
+  // xoshiro must not start from the all-zero state; SplitMix64 cannot
+  // produce four zero words from any seed, but be defensive anyway.
+  if (!(State[0] | State[1] | State[2] | State[3]))
+    State[0] = 1;
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+uint64_t Rng::nextInRange(uint64_t Lo, uint64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + nextBelow(Hi - Lo + 1);
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+std::size_t Rng::pickWeighted(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "no weights");
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "negative weight");
+    Total += W;
+  }
+  assert(Total > 0.0 && "weights sum to zero");
+  double Target = nextDouble() * Total;
+  double Acc = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Acc += Weights[I];
+    if (Target < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}

@@ -1,0 +1,68 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generation used throughout the
+/// simulator. Everything in this project draws randomness from an explicit
+/// Rng instance so that every experiment is reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_RNG_H
+#define HALO_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace halo {
+
+/// A small, fast, deterministic generator (xoshiro256** seeded via
+/// SplitMix64). Not cryptographic; statistical quality is more than
+/// sufficient for workload synthesis.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) { reseed(Seed); }
+
+  /// Re-initialises the state from \p Seed via SplitMix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t next();
+
+  /// Returns a uniformly random integer in [0, Bound). \p Bound must be
+  /// non-zero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly random integer in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi);
+
+  /// Returns a uniformly random double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Picks an index in [0, Weights.size()) with probability proportional to
+  /// the weight. The weights must not all be zero.
+  std::size_t pickWeighted(const std::vector<double> &Weights);
+
+  /// Fisher-Yates shuffle of \p Values.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    if (Values.size() < 2)
+      return;
+    for (std::size_t I = Values.size() - 1; I > 0; --I)
+      std::swap(Values[I], Values[nextBelow(I + 1)]);
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_RNG_H

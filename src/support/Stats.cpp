@@ -1,0 +1,53 @@
+//===- support/Stats.cpp - Summary statistics ----------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace halo;
+
+double halo::quantile(std::vector<double> Values, double Q) {
+  assert(!Values.empty() && "quantile of empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Pos = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(std::floor(Pos));
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double halo::median(const std::vector<double> &Values) {
+  return quantile(Values, 0.5);
+}
+
+double halo::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+TrialSummary halo::summarize(const std::vector<double> &Values) {
+  assert(!Values.empty() && "summary of empty sample");
+  TrialSummary S;
+  S.Median = quantile(Values, 0.5);
+  S.P25 = quantile(Values, 0.25);
+  S.P75 = quantile(Values, 0.75);
+  S.Min = *std::min_element(Values.begin(), Values.end());
+  S.Max = *std::max_element(Values.begin(), Values.end());
+  S.Count = Values.size();
+  return S;
+}
+
+double halo::percentImprovement(double Baseline, double Optimised) {
+  if (Baseline == 0.0)
+    return 0.0;
+  return (Baseline - Optimised) / Baseline * 100.0;
+}

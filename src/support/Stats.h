@@ -1,0 +1,51 @@
+//===- support/Stats.h - Summary statistics --------------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Median / percentile helpers matching the paper's measurement methodology
+/// (Section 5.1: medians of repeated trials with 25th/75th percentile error
+/// bars).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_STATS_H
+#define HALO_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace halo {
+
+/// Median / quartile summary of a set of trial measurements.
+struct TrialSummary {
+  double Median = 0.0;
+  double P25 = 0.0;
+  double P75 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  size_t Count = 0;
+};
+
+/// Returns the \p Q-th quantile (Q in [0, 1]) of \p Values using linear
+/// interpolation between order statistics. \p Values need not be sorted.
+double quantile(std::vector<double> Values, double Q);
+
+/// Returns the median of \p Values.
+double median(const std::vector<double> &Values);
+
+/// Returns the arithmetic mean of \p Values (0 for an empty vector).
+double mean(const std::vector<double> &Values);
+
+/// Summarises \p Values into median / quartiles / extrema.
+TrialSummary summarize(const std::vector<double> &Values);
+
+/// Percentage by which \p Optimised improves on \p Baseline; positive means
+/// the optimised value is smaller (e.g. fewer misses, less time).
+double percentImprovement(double Baseline, double Optimised);
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_STATS_H

@@ -1,0 +1,92 @@
+//===- trace/Context.h - Allocation contexts --------------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation contexts (Section 4.1): the reduced call-stack under which an
+/// allocation was made. A context is a chain of (function, call site)
+/// frames, outermost first, ending with the malloc call site itself. Stacks
+/// containing recursive calls are transformed into a canonical *reduced*
+/// form in which only the most recent instance of any (function, call site)
+/// pair is retained -- avoiding overfitting without imposing fixed size
+/// constraints. ContextTable interns reduced contexts into dense ids, which
+/// the affinity graph, grouping, and identification stages all operate on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_TRACE_CONTEXT_H
+#define HALO_TRACE_CONTEXT_H
+
+#include "prog/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace halo {
+
+using ContextId = uint32_t;
+
+/// One entry of a context: \c Function was entered through \c Site.
+struct CallFrame {
+  FunctionId Function = InvalidId;
+  CallSiteId Site = InvalidId;
+
+  friend bool operator==(const CallFrame &A, const CallFrame &B) {
+    return A.Function == B.Function && A.Site == B.Site;
+  }
+};
+
+/// A call chain, outermost frame first.
+using Context = std::vector<CallFrame>;
+
+/// Canonicalises \p Frames: of every (function, call site) pair only the
+/// most recent (innermost) instance survives, preserving relative order.
+Context reduceContext(const Context &Frames);
+
+/// Interned context: frames plus the de-duplicated set of call sites making
+/// up the chain (the identification algorithm works on this site set).
+struct ContextInfo {
+  Context Frames;
+  std::vector<CallSiteId> Chain; ///< Sorted, unique call sites of Frames.
+  uint64_t Allocations = 0;      ///< Allocations made from this context.
+
+  bool chainContains(CallSiteId Site) const;
+};
+
+/// Dense interning table for reduced contexts.
+class ContextTable {
+public:
+  /// Interns \p Reduced (which must already be in reduced form) and returns
+  /// its id, allocating a new one on first sight.
+  ContextId intern(const Context &Reduced);
+
+  const ContextInfo &info(ContextId Id) const {
+    assert(Id < Infos.size() && "bad context id");
+    return Infos[Id];
+  }
+  ContextInfo &info(ContextId Id) {
+    assert(Id < Infos.size() && "bad context id");
+    return Infos[Id];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Infos.size()); }
+
+  /// Renders a context as "f1>f2>f3@site" style text for reports.
+  std::string describe(ContextId Id, const Program &Prog) const;
+
+private:
+  struct FrameHash {
+    size_t operator()(const Context &C) const;
+  };
+
+  std::unordered_map<Context, ContextId, FrameHash> Ids;
+  std::vector<ContextInfo> Infos;
+};
+
+} // namespace halo
+
+#endif // HALO_TRACE_CONTEXT_H

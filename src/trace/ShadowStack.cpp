@@ -1,0 +1,46 @@
+//===- trace/ShadowStack.cpp - Profiling shadow stack ----------------------===//
+
+#include "trace/ShadowStack.h"
+
+using namespace halo;
+
+CallSiteId ShadowStack::originSite(CallSiteId Site) const {
+  const CallSiteInfo &Info = Prog.callSite(Site);
+  if (!Prog.function(Info.Caller).IsExternal)
+    return Site;
+  // The call site lives in external code (e.g. a library callback or linker
+  // stub); attribute it to the nearest main-binary site on the stack.
+  if (!Frames.empty())
+    return Frames.back().Site;
+  return Site;
+}
+
+void ShadowStack::onCall(CallSiteId Site) {
+  ++RawDepth;
+  const CallSiteInfo &Info = Prog.callSite(Site);
+  const FunctionInfo &Callee = Prog.function(Info.Callee);
+  // Only record targets statically linked into the main binary, or the
+  // handful of traceable external routines.
+  bool Record = !Callee.IsExternal || Callee.IsTraceable;
+  Pushed.push_back(Record);
+  if (Record)
+    Frames.push_back(CallFrame{Info.Callee, originSite(Site)});
+}
+
+void ShadowStack::onReturn() {
+  assert(RawDepth > 0 && "return without call");
+  --RawDepth;
+  assert(!Pushed.empty() && "shadow stack out of sync");
+  if (Pushed.back()) {
+    assert(!Frames.empty() && "shadow stack out of sync");
+    Frames.pop_back();
+  }
+  Pushed.pop_back();
+}
+
+Context ShadowStack::allocationContext(CallSiteId MallocSite) const {
+  Context Full = Frames;
+  Full.push_back(
+      CallFrame{Prog.callSite(MallocSite).Callee, originSite(MallocSite)});
+  return reduceContext(Full);
+}

@@ -1,0 +1,60 @@
+//===- trace/ShadowStack.h - Profiling shadow stack -------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiler's shadow stack (Section 4.1), which differs from the true
+/// call stack by design: a frame is recorded only if the call target is
+/// statically linked into the main binary or is an externally traceable
+/// routine; call sites located in external code are traced back to their
+/// nearest point of origin in the main executable (so linker stubs and
+/// library procedures never appear as contexts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_TRACE_SHADOWSTACK_H
+#define HALO_TRACE_SHADOWSTACK_H
+
+#include "trace/Context.h"
+
+namespace halo {
+
+/// Shadow call stack fed by the runtime's call/return events.
+class ShadowStack {
+public:
+  explicit ShadowStack(const Program &Prog) : Prog(Prog) {}
+
+  /// Records a call through \p Site. Calls targeting untraceable external
+  /// functions are remembered (so returns stay balanced) but add no frame.
+  void onCall(CallSiteId Site);
+
+  /// Records the matching return.
+  void onReturn();
+
+  /// The current shadow stack, outermost first.
+  const Context &frames() const { return Frames; }
+
+  /// Depth of the raw call stack (including skipped external calls).
+  uint32_t rawDepth() const { return RawDepth; }
+
+  /// Builds the reduced allocation context for a malloc made right now
+  /// through \p MallocSite (appended as the innermost frame).
+  Context allocationContext(CallSiteId MallocSite) const;
+
+  /// The call site of \p Site traced back to the main executable: if the
+  /// call site itself lies in external code, the nearest enclosing
+  /// main-binary site is substituted.
+  CallSiteId originSite(CallSiteId Site) const;
+
+private:
+  const Program &Prog;
+  Context Frames;
+  std::vector<bool> Pushed; ///< Per raw call: did it push a frame?
+  uint32_t RawDepth = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_TRACE_SHADOWSTACK_H

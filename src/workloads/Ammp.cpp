@@ -1,0 +1,118 @@
+//===- workloads/Ammp.cpp - ammp model (SPEC CPU2000) -------------------------===//
+//
+// ammp's molecular dynamics keeps atoms on linked lists and rebuilds
+// neighbour lists as the simulation advances. Atom headers (list cells) and
+// atom bodies are hot and touched pairwise by every force evaluation;
+// bookkeeping allocations (residue labels, energy logs) interleave in the
+// same size classes. Direct malloc call sites, prior-work shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Factories.h"
+
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+class AmmpWorkload : public Workload {
+public:
+  std::string name() const override { return "ammp"; }
+
+  void build(Program &P) override {
+    FunctionId Main = P.addFunction("main");
+    FRead = P.addFunction("read_atoms");
+    FForce = P.addFunction("force_pass");
+    FLogger = P.addFunction("log_energy");
+    SMainRead = P.addCallSite(Main, FRead, "main>read_atoms");
+    SAtomCell = P.addMallocSite(FRead, "read_atoms>malloc_cell");
+    SAtomBody = P.addMallocSite(FRead, "read_atoms>malloc_atom");
+    SLabel = P.addMallocSite(FRead, "read_atoms>malloc_label");
+    SMainForce = P.addCallSite(Main, FForce, "main>force_pass");
+    SForceLog = P.addCallSite(FForce, FLogger, "force_pass>log_energy");
+    SLogRec = P.addMallocSite(FLogger, "log_energy>malloc");
+  }
+
+  void run(Runtime &RT, Scale S, uint64_t Seed) override {
+    const uint64_t Atoms = S == Scale::Test ? 3000 : 52000;
+    const int Steps = S == Scale::Test ? 5 : 11;
+    const uint64_t CellSize = 32, AtomSize = 32, LabelSize = 32,
+                   LogSize = 32; // Logs pollute the atoms' size class.
+    Rng Random(Seed ^ 0xA33Bull);
+
+    struct Atom {
+      uint64_t Cell;
+      uint64_t Body;
+    };
+    std::vector<Atom> Molecule;
+    std::vector<uint64_t> Labels, Logs;
+
+    {
+      Runtime::Scope Read(RT, SMainRead);
+      Molecule.reserve(Atoms);
+      for (uint64_t I = 0; I < Atoms; ++I) {
+        Atom A;
+        A.Cell = RT.malloc(CellSize, SAtomCell);
+        RT.store(A.Cell, CellSize);
+        A.Body = RT.malloc(AtomSize, SAtomBody);
+        RT.store(A.Body, AtomSize);
+        Molecule.push_back(A);
+        if (Random.nextBool(0.4)) {
+          uint64_t L = RT.malloc(LabelSize, SLabel);
+          RT.store(L, 8);
+          Labels.push_back(L);
+        }
+      }
+    }
+
+    // The neighbour list dictates a fixed atom visit order unrelated to
+    // allocation order.
+    std::vector<uint32_t> Order(Molecule.size());
+    for (uint32_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    Random.shuffle(Order);
+    {
+      Runtime::Scope Force(RT, SMainForce);
+      for (int Step = 0; Step < Steps; ++Step) {
+        for (uint32_t Idx : Order) {
+          Atom &A = Molecule[Idx];
+          RT.load(A.Cell, CellSize); // next pointer + flags
+          RT.load(A.Body, AtomSize); // coordinates, charge
+          RT.store(A.Body + 8, 16);  // force accumulation
+          RT.compute(40);
+        }
+        // Energy log entry per step bucket: cold, same class as atoms.
+        {
+          Runtime::Scope Log(RT, SForceLog);
+          for (int I = 0; I < 64; ++I) {
+            uint64_t Rec = RT.malloc(LogSize, SLogRec);
+            RT.store(Rec, 16);
+            Logs.push_back(Rec);
+          }
+        }
+      }
+    }
+
+    for (Atom &A : Molecule) {
+      RT.free(A.Cell);
+      RT.free(A.Body);
+    }
+    for (uint64_t L : Labels)
+      RT.free(L);
+    for (uint64_t R : Logs)
+      RT.free(R);
+  }
+
+private:
+  FunctionId FRead = InvalidId, FForce = InvalidId, FLogger = InvalidId;
+  CallSiteId SMainRead = InvalidId, SAtomCell = InvalidId,
+             SAtomBody = InvalidId, SLabel = InvalidId, SMainForce = InvalidId,
+             SForceLog = InvalidId, SLogRec = InvalidId;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> halo::createAmmpWorkload() {
+  return std::make_unique<AmmpWorkload>();
+}

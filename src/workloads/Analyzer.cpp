@@ -1,0 +1,93 @@
+//===- workloads/Analyzer.cpp - analyzer model (FreeBench) --------------------===//
+//
+// FreeBench's analyzer parses a trace of records into hash buckets and then
+// repeatedly walks the bucket chains. Records and chain cells come from
+// direct malloc call sites in domain code (prior-work shape: distinct,
+// unwrapped locations), with cold token buffers interleaved in the same
+// size class during parsing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Factories.h"
+
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+class AnalyzerWorkload : public Workload {
+public:
+  std::string name() const override { return "analyzer"; }
+
+  void build(Program &P) override {
+    FunctionId Main = P.addFunction("main");
+    FParse = P.addFunction("parse_trace");
+    FAnalyze = P.addFunction("analyze");
+    SMainParse = P.addCallSite(Main, FParse, "main>parse_trace");
+    SRecord = P.addMallocSite(FParse, "parse_trace>malloc_record");
+    SCell = P.addMallocSite(FParse, "parse_trace>malloc_cell");
+    SBuffer = P.addMallocSite(FParse, "parse_trace>malloc_buffer");
+    SMainAnalyze = P.addCallSite(Main, FAnalyze, "main>analyze");
+  }
+
+  void run(Runtime &RT, Scale S, uint64_t Seed) override {
+    const uint64_t Records = S == Scale::Test ? 4000 : 70000;
+    const uint64_t Buckets = 512;
+    const int Passes = S == Scale::Test ? 4 : 9;
+    const uint64_t RecordSize = 32, CellSize = 32, BufferSize = 32;
+    Rng Random(Seed ^ 0xA7A1ull);
+
+    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> Table(Buckets);
+    std::vector<uint64_t> Buffers;
+
+    {
+      Runtime::Scope Parse(RT, SMainParse);
+      for (uint64_t I = 0; I < Records; ++I) {
+        // Cold token buffer for the line being parsed.
+        if (Random.nextBool(0.7)) {
+          uint64_t Buf = RT.malloc(BufferSize, SBuffer);
+          RT.store(Buf, BufferSize);
+          Buffers.push_back(Buf);
+        }
+        uint64_t Rec = RT.malloc(RecordSize, SRecord);
+        RT.store(Rec, RecordSize);
+        uint64_t Cell = RT.malloc(CellSize, SCell);
+        RT.store(Cell, CellSize);
+        Table[Random.nextBelow(Buckets)].emplace_back(Cell, Rec);
+        RT.compute(20);
+      }
+    }
+
+    {
+      Runtime::Scope Analyze(RT, SMainAnalyze);
+      for (int Pass = 0; Pass < Passes; ++Pass)
+        for (auto &Chain : Table)
+          for (auto [Cell, Rec] : Chain) {
+            RT.load(Cell, CellSize);
+            RT.load(Rec, RecordSize);
+            RT.store(Rec + 16, 8); // Accumulate into the record.
+            RT.compute(14);
+          }
+    }
+
+    for (auto &Chain : Table)
+      for (auto [Cell, Rec] : Chain) {
+        RT.free(Cell);
+        RT.free(Rec);
+      }
+    for (uint64_t Buf : Buffers)
+      RT.free(Buf);
+  }
+
+private:
+  FunctionId FParse = InvalidId, FAnalyze = InvalidId;
+  CallSiteId SMainParse = InvalidId, SRecord = InvalidId, SCell = InvalidId,
+             SBuffer = InvalidId, SMainAnalyze = InvalidId;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> halo::createAnalyzerWorkload() {
+  return std::make_unique<AnalyzerWorkload>();
+}

@@ -1,0 +1,103 @@
+//===- workloads/Art.cpp - art model (SPEC CPU2000) ---------------------------===//
+//
+// art's adaptive-resonance network allocates, per F1-layer neuron, separate
+// bottom-up and top-down weight vectors; training repeatedly scans both
+// vectors of every neuron together. The two hot allocations per neuron come
+// from two distinct direct call sites, interleaved with cold image-buffer
+// book-keeping in the same size class -- a stand-out layout-improvement
+// opportunity in prior work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Factories.h"
+
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+class ArtWorkload : public Workload {
+public:
+  std::string name() const override { return "art"; }
+
+  void build(Program &P) override {
+    FunctionId Main = P.addFunction("main");
+    FInit = P.addFunction("init_net");
+    FTrain = P.addFunction("train_match");
+    SMainInit = P.addCallSite(Main, FInit, "main>init_net");
+    SBottomUp = P.addMallocSite(FInit, "init_net>malloc_bu");
+    STopDown = P.addMallocSite(FInit, "init_net>malloc_td");
+    SImageBuf = P.addMallocSite(FInit, "init_net>malloc_buf");
+    SMainTrain = P.addCallSite(Main, FTrain, "main>train_match");
+  }
+
+  void run(Runtime &RT, Scale S, uint64_t Seed) override {
+    const uint64_t Neurons = S == Scale::Test ? 4000 : 60000;
+    const int Epochs = S == Scale::Test ? 4 : 9;
+    const uint64_t WeightBytes = 32, BufBytes = 32;
+    Rng Random(Seed ^ 0xA87ull);
+
+    struct Neuron {
+      uint64_t BottomUp;
+      uint64_t TopDown;
+    };
+    std::vector<Neuron> Net;
+    std::vector<uint64_t> Buffers;
+
+    {
+      Runtime::Scope Init(RT, SMainInit);
+      Net.reserve(Neurons);
+      for (uint64_t I = 0; I < Neurons; ++I) {
+        Neuron N;
+        N.BottomUp = RT.malloc(WeightBytes, SBottomUp);
+        RT.store(N.BottomUp, WeightBytes);
+        N.TopDown = RT.malloc(WeightBytes, STopDown);
+        RT.store(N.TopDown, WeightBytes);
+        Net.push_back(N);
+        if (Random.nextBool(0.8)) {
+          uint64_t Buf = RT.malloc(BufBytes, SImageBuf);
+          RT.store(Buf, 8);
+          Buffers.push_back(Buf);
+        }
+      }
+    }
+
+    // Training visits neurons in match order -- a fixed permutation driven
+    // by the input images, not by allocation order.
+    std::vector<uint32_t> Order(Net.size());
+    for (uint32_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    Random.shuffle(Order);
+    {
+      Runtime::Scope Train(RT, SMainTrain);
+      for (int Epoch = 0; Epoch < Epochs; ++Epoch)
+        for (uint32_t Idx : Order) {
+          Neuron &N = Net[Idx];
+          RT.load(N.BottomUp, WeightBytes);
+          RT.load(N.TopDown, WeightBytes);
+          RT.store(N.TopDown, 8); // Resonance update.
+          RT.compute(18);
+        }
+    }
+
+    for (Neuron &N : Net) {
+      RT.free(N.BottomUp);
+      RT.free(N.TopDown);
+    }
+    for (uint64_t Buf : Buffers)
+      RT.free(Buf);
+  }
+
+private:
+  FunctionId FInit = InvalidId, FTrain = InvalidId;
+  CallSiteId SMainInit = InvalidId, SBottomUp = InvalidId,
+             STopDown = InvalidId, SImageBuf = InvalidId,
+             SMainTrain = InvalidId;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> halo::createArtWorkload() {
+  return std::make_unique<ArtWorkload>();
+}

@@ -1,0 +1,100 @@
+//===- workloads/Equake.cpp - equake model (SPEC CPU2000) ---------------------===//
+//
+// equake's sparse-matrix-vector kernel allocates one descriptor and one
+// data block per matrix row (row-by-row mallocs) and sweeps them in row
+// order every timestep. Mesh bookkeeping records interleave with the row
+// descriptors in the same size class during assembly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Factories.h"
+
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+class EquakeWorkload : public Workload {
+public:
+  std::string name() const override { return "equake"; }
+
+  void build(Program &P) override {
+    FunctionId Main = P.addFunction("main");
+    FAssemble = P.addFunction("assemble_matrix");
+    FSmvp = P.addFunction("smvp");
+    SMainAssemble = P.addCallSite(Main, FAssemble, "main>assemble_matrix");
+    SRowDesc = P.addMallocSite(FAssemble, "assemble>malloc_rowdesc");
+    SRowData = P.addMallocSite(FAssemble, "assemble>malloc_rowdata");
+    SMeshRec = P.addMallocSite(FAssemble, "assemble>malloc_meshrec");
+    SMainSmvp = P.addCallSite(Main, FSmvp, "main>smvp");
+  }
+
+  void run(Runtime &RT, Scale S, uint64_t Seed) override {
+    const uint64_t Rows = S == Scale::Test ? 3000 : 40000;
+    const int Timesteps = S == Scale::Test ? 5 : 12;
+    const uint64_t DescSize = 32, DataSize = 96, MeshSize = 32;
+    Rng Random(Seed ^ 0xE9A4Eull);
+
+    struct Row {
+      uint64_t Desc;
+      uint64_t Data;
+    };
+    std::vector<Row> Matrix;
+    std::vector<uint64_t> Mesh;
+
+    {
+      Runtime::Scope Assemble(RT, SMainAssemble);
+      Matrix.reserve(Rows);
+      for (uint64_t I = 0; I < Rows; ++I) {
+        Row R;
+        R.Desc = RT.malloc(DescSize, SRowDesc);
+        RT.store(R.Desc, DescSize);
+        R.Data = RT.malloc(DataSize, SRowData);
+        RT.store(R.Data, DataSize);
+        Matrix.push_back(R);
+        if (Random.nextBool(0.6)) {
+          uint64_t M = RT.malloc(MeshSize, SMeshRec);
+          RT.store(M, 8);
+          Mesh.push_back(M);
+        }
+      }
+    }
+
+    // The unstructured mesh dictates a fixed row visit order unrelated to
+    // allocation order.
+    std::vector<uint32_t> Order(Matrix.size());
+    for (uint32_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    Random.shuffle(Order);
+    {
+      Runtime::Scope Smvp(RT, SMainSmvp);
+      for (int T = 0; T < Timesteps; ++T)
+        for (uint32_t Idx : Order) {
+          Row &R = Matrix[Idx];
+          RT.load(R.Desc, DescSize);  // Column indices / row length.
+          RT.load(R.Data, DataSize);  // Non-zero values.
+          RT.store(R.Desc + 16, 8);   // Result accumulation marker.
+          RT.compute(30);
+        }
+    }
+
+    for (Row &R : Matrix) {
+      RT.free(R.Desc);
+      RT.free(R.Data);
+    }
+    for (uint64_t M : Mesh)
+      RT.free(M);
+  }
+
+private:
+  FunctionId FAssemble = InvalidId, FSmvp = InvalidId;
+  CallSiteId SMainAssemble = InvalidId, SRowDesc = InvalidId,
+             SRowData = InvalidId, SMeshRec = InvalidId, SMainSmvp = InvalidId;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> halo::createEquakeWorkload() {
+  return std::make_unique<EquakeWorkload>();
+}

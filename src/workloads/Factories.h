@@ -1,0 +1,36 @@
+//===- workloads/Factories.h - Internal workload factories -----*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private factory declarations wiring each benchmark model into the
+/// registry in Workload.cpp. Not part of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_WORKLOADS_FACTORIES_H
+#define HALO_WORKLOADS_FACTORIES_H
+
+#include "workloads/Workload.h"
+
+#include <memory>
+
+namespace halo {
+
+std::unique_ptr<Workload> createHealthWorkload();
+std::unique_ptr<Workload> createFtWorkload();
+std::unique_ptr<Workload> createAnalyzerWorkload();
+std::unique_ptr<Workload> createAmmpWorkload();
+std::unique_ptr<Workload> createArtWorkload();
+std::unique_ptr<Workload> createEquakeWorkload();
+std::unique_ptr<Workload> createPovrayWorkload();
+std::unique_ptr<Workload> createOmnetppWorkload();
+std::unique_ptr<Workload> createXalancWorkload();
+std::unique_ptr<Workload> createLeelaWorkload();
+std::unique_ptr<Workload> createRomsWorkload();
+
+} // namespace halo
+
+#endif // HALO_WORKLOADS_FACTORIES_H

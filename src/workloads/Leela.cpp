@@ -1,0 +1,181 @@
+//===- workloads/Leela.cpp - leela model (SPEC CPU2017) -----------------------===//
+//
+// leela "allocates memory exclusively through C++'s new operator"
+// (Section 5.2): every MCTS tree node, transposition entry, and game-record
+// object funnels through one FastAlloc wrapper, so the immediate malloc call
+// site is useless for identification. Search iterations walk recently
+// expanded regions of the tree (hot), expand a few frontier nodes
+// (short-lived churn), consult large pattern tables (unaffected by
+// small-object placement), and burn most of their cycles in playouts -- so
+// HALO removes an appreciable share of L1D misses while execution time
+// barely moves, exactly the paper's leela row. Game-record objects pollute
+// the tree nodes' size class in the baseline; HALO's full-context grouping
+// separates them. Between "moves" the tree is torn down, recycling the
+// group allocator's chunks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Factories.h"
+
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+class LeelaWorkload : public Workload {
+public:
+  std::string name() const override { return "leela"; }
+
+  void build(Program &P) override {
+    FunctionId Main = P.addFunction("main");
+    FSearch = P.addFunction("uct_search");
+    FSelect = P.addFunction("select_path");
+    FExpand = P.addFunction("expand_leaf");
+    FRecord = P.addFunction("record_game");
+    FTt = P.addFunction("tt_store");
+    FFast = P.addFunction("fast_alloc"); // The operator-new wrapper.
+    SMainSearch = P.addCallSite(Main, FSearch, "main>uct_search");
+    SSearchSelect = P.addCallSite(FSearch, FSelect, "search>select_path");
+    SSelectNew = P.addCallSite(FSelect, FFast, "select_path>fast_alloc");
+    SSearchExpand = P.addCallSite(FSearch, FExpand, "search>expand_leaf");
+    SExpandNew = P.addCallSite(FExpand, FFast, "expand_leaf>fast_alloc");
+    SSearchRecord = P.addCallSite(FSearch, FRecord, "search>record_game");
+    SRecordNew = P.addCallSite(FRecord, FFast, "record_game>fast_alloc");
+    SSearchTt = P.addCallSite(FSearch, FTt, "search>tt_store");
+    STtNew = P.addCallSite(FTt, FFast, "tt_store>fast_alloc");
+    SNew = P.addMallocSite(FFast, "fast_alloc>malloc"); // Single site.
+  }
+
+  void run(Runtime &RT, Scale S, uint64_t Seed) override {
+    const uint64_t Iterations = S == Scale::Test ? 4000 : 48000;
+    const uint64_t MoveLength = S == Scale::Test ? 1500 : 12000;
+    const uint64_t NodeSize = 48, RecordSize = 48, TtSize = 32;
+    const uint64_t PatternBytes = 1 << 21; ///< Ungrouped pattern tables.
+    const uint64_t WindowNodes = 12;
+    Rng Random(Seed ^ 0x1EE1Aull);
+
+    std::vector<uint64_t> Tree;     ///< Persistent within a move.
+    std::vector<uint64_t> Records;  ///< Cold pollution, same class.
+    std::vector<uint64_t> Frontier; ///< Short-lived churn.
+    std::vector<uint64_t> TtEntries;
+    std::vector<uint64_t> Patterns;
+
+    Runtime::Scope Search(RT, SMainSearch);
+
+    // Pattern tables: large, allocated once, sampled randomly forever.
+    for (int I = 0; I < 4; ++I) {
+      Runtime::Scope Tt(RT, SSearchTt);
+      Runtime::Scope New(RT, STtNew);
+      uint64_t T = RT.malloc(PatternBytes, SNew);
+      RT.store(T, 4096);
+      Patterns.push_back(T);
+    }
+
+    auto TearDownMove = [&] {
+      for (uint64_t Node : Tree)
+        RT.free(Node);
+      Tree.clear();
+      for (uint64_t Rec : Records)
+        RT.free(Rec);
+      Records.clear();
+    };
+
+    for (uint64_t Iter = 0; Iter < Iterations; ++Iter) {
+      // A new move tears the search tree down and starts over.
+      if (Iter % MoveLength == 0 && !Tree.empty())
+        TearDownMove();
+
+      // Grow the tree along the selected path; game records pollute the
+      // same size class in the baseline allocator.
+      {
+        Runtime::Scope Select(RT, SSearchSelect);
+        for (int G = 0; G < 2; ++G) {
+          uint64_t Node;
+          {
+            Runtime::Scope New(RT, SSelectNew);
+            Node = RT.malloc(NodeSize, SNew);
+          }
+          RT.store(Node, NodeSize);
+          Tree.push_back(Node);
+        }
+      }
+      if (Random.nextBool(0.7)) {
+        Runtime::Scope Record(RT, SSearchRecord);
+        Runtime::Scope New(RT, SRecordNew);
+        uint64_t Rec = RT.malloc(RecordSize, SNew);
+        RT.store(Rec, 8);
+        Records.push_back(Rec);
+      }
+
+      // Descend: walk a recently expanded window of the tree.
+      if (Tree.size() > WindowNodes) {
+        uint64_t Start = Random.nextBelow(Tree.size() - WindowNodes);
+        for (uint64_t I = Start; I < Start + WindowNodes; ++I) {
+          RT.load(Tree[I], NodeSize);
+          RT.store(Tree[I] + 16, 8); // Visit counts.
+        }
+      }
+
+      // Frontier churn: short-lived candidate nodes.
+      {
+        Runtime::Scope Expand(RT, SSearchExpand);
+        for (int I = 0; I < 4; ++I) {
+          uint64_t Node;
+          {
+            Runtime::Scope New(RT, SExpandNew);
+            Node = RT.malloc(NodeSize, SNew);
+          }
+          RT.store(Node, NodeSize);
+          Frontier.push_back(Node);
+        }
+      }
+      while (Frontier.size() > 16) {
+        RT.load(Frontier.back(), NodeSize);
+        RT.free(Frontier.back());
+        Frontier.pop_back();
+      }
+
+      // Board evaluation samples the pattern tables (cold, unaffected).
+      for (int I = 0; I < 12; ++I) {
+        uint64_t T = Patterns[Random.nextBelow(Patterns.size())];
+        RT.load(T + (Random.nextBelow(PatternBytes / 64)) * 64, 8);
+      }
+
+      // Playouts dominate: leela is compute-bound.
+      RT.compute(20000);
+
+      // Rare, never-freed transposition entry.
+      if (Random.nextBool(0.001)) {
+        Runtime::Scope Tt(RT, SSearchTt);
+        Runtime::Scope New(RT, STtNew);
+        uint64_t Entry = RT.malloc(TtSize, SNew);
+        RT.store(Entry, TtSize);
+        TtEntries.push_back(Entry);
+      }
+    }
+
+    TearDownMove();
+    for (uint64_t Node : Frontier)
+      RT.free(Node);
+    for (uint64_t Entry : TtEntries)
+      RT.free(Entry);
+    for (uint64_t T : Patterns)
+      RT.free(T);
+  }
+
+private:
+  FunctionId FSearch = InvalidId, FSelect = InvalidId, FExpand = InvalidId,
+             FRecord = InvalidId, FTt = InvalidId, FFast = InvalidId;
+  CallSiteId SMainSearch = InvalidId, SSearchSelect = InvalidId,
+             SSelectNew = InvalidId, SSearchExpand = InvalidId,
+             SExpandNew = InvalidId, SSearchRecord = InvalidId,
+             SRecordNew = InvalidId, SSearchTt = InvalidId, STtNew = InvalidId,
+             SNew = InvalidId;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> halo::createLeelaWorkload() {
+  return std::make_unique<LeelaWorkload>();
+}

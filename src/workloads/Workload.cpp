@@ -1,0 +1,43 @@
+//===- workloads/Workload.cpp - Benchmark workload registry -----------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/Factories.h"
+
+using namespace halo;
+
+Workload::~Workload() = default;
+
+const std::vector<std::string> &halo::workloadNames() {
+  // Figure 13 order: prior-work benchmarks first, then SPECrate CPU2017.
+  static const std::vector<std::string> Names = {
+      "health", "ft",     "analyzer", "ammp",  "art",  "equake",
+      "povray", "omnetpp", "xalanc",  "leela", "roms"};
+  return Names;
+}
+
+std::unique_ptr<Workload> halo::createWorkload(const std::string &Name) {
+  if (Name == "health")
+    return createHealthWorkload();
+  if (Name == "ft")
+    return createFtWorkload();
+  if (Name == "analyzer")
+    return createAnalyzerWorkload();
+  if (Name == "ammp")
+    return createAmmpWorkload();
+  if (Name == "art")
+    return createArtWorkload();
+  if (Name == "equake")
+    return createEquakeWorkload();
+  if (Name == "povray")
+    return createPovrayWorkload();
+  if (Name == "omnetpp")
+    return createOmnetppWorkload();
+  if (Name == "xalanc")
+    return createXalancWorkload();
+  if (Name == "leela")
+    return createLeelaWorkload();
+  if (Name == "roms")
+    return createRomsWorkload();
+  return nullptr;
+}

@@ -1,0 +1,60 @@
+//===- workloads/Workload.h - Benchmark workload models ---------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark programs of Section 5.1, modelled as deterministic
+/// allocation-and-access generators over the instrumented runtime. Each
+/// model encodes the *character* the paper attributes to its benchmark --
+/// wrapper-function opacity in povray, deep call chains in xalanc,
+/// operator-new-only allocation in leela, direct mallocs in roms, and so
+/// on -- because those characters are what drive the per-benchmark
+/// outcomes in Figures 13-15. Every model supports the paper's two input
+/// scales (profile on small *test* inputs, measure on larger *ref* inputs)
+/// and a seed that varies inputs across trials.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_WORKLOADS_WORKLOAD_H
+#define HALO_WORKLOADS_WORKLOAD_H
+
+#include "prog/Program.h"
+#include "runtime/Runtime.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace halo {
+
+/// Input scale: the paper profiles on test and measures on ref.
+enum class Scale { Test, Ref };
+
+/// A benchmark program model.
+class Workload {
+public:
+  virtual ~Workload();
+
+  virtual std::string name() const = 0;
+
+  /// Registers the model's functions and call sites with \p Prog. Called
+  /// exactly once, before any run; ids are stored in the instance.
+  virtual void build(Program &Prog) = 0;
+
+  /// Executes the program on \p RT. Must be re-runnable: all mutable state
+  /// lives on the stack of this call.
+  virtual void run(Runtime &RT, Scale S, uint64_t Seed) = 0;
+};
+
+/// Names of all eleven benchmark models, in the paper's Figure 13 order.
+const std::vector<std::string> &workloadNames();
+
+/// Instantiates a workload by name; returns nullptr for unknown names.
+std::unique_ptr<Workload> createWorkload(const std::string &Name);
+
+} // namespace halo
+
+#endif // HALO_WORKLOADS_WORKLOAD_H

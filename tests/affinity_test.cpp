@@ -1,0 +1,131 @@
+//===- tests/affinity_test.cpp - Affinity queue semantics ---------------------===//
+
+#include "profile/AffinityQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace halo;
+
+namespace {
+
+/// Pushes an access and returns partner object ids.
+std::set<uint32_t> partners(AffinityQueue &Q, uint32_t Obj, uint64_t Bytes,
+                            uint32_t Node = 0, uint64_t Seq = 0) {
+  std::set<uint32_t> Ids;
+  for (const AffinityQueue::Entry &E : Q.push(Obj, Node, Seq, Bytes))
+    Ids.insert(E.Object);
+  return Ids;
+}
+
+} // namespace
+
+TEST(AffinityQueue, Figure5Reproduction) {
+  // Figure 5: ten objects, 4-byte accesses, A = 32. The newest element is
+  // affinitive to exactly the seven entries to its left.
+  AffinityQueue Q(32);
+  for (uint32_t Obj = 0; Obj < 9; ++Obj)
+    Q.push(Obj, 0, 0, 4);
+  std::set<uint32_t> P = partners(Q, 9, 4);
+  EXPECT_EQ(P.size(), 7u);
+  EXPECT_EQ(P, (std::set<uint32_t>{2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(AffinityQueue, WindowScalesWithAccessSize) {
+  // 16-byte accesses with A = 32: only the immediately preceding entry is
+  // within the window.
+  AffinityQueue Q(32);
+  Q.push(0, 0, 0, 16);
+  Q.push(1, 0, 0, 16);
+  std::set<uint32_t> P = partners(Q, 2, 16);
+  EXPECT_EQ(P, (std::set<uint32_t>{1}));
+}
+
+TEST(AffinityQueue, DedupMergesConsecutiveAccesses) {
+  AffinityQueue Q(64);
+  Q.push(0, 0, 0, 4);
+  Q.push(1, 0, 0, 4);
+  EXPECT_FALSE(Q.lastPushMerged());
+  EXPECT_TRUE(Q.push(1, 0, 0, 4).empty()); // Merged, no traversal.
+  EXPECT_TRUE(Q.lastPushMerged());
+  EXPECT_EQ(Q.size(), 2u);
+}
+
+TEST(AffinityQueue, MergedBytesConsumeWindow) {
+  // Repeated accesses to one object widen its macro access and push older
+  // entries out of the window.
+  AffinityQueue Q(16);
+  Q.push(0, 0, 0, 4);
+  Q.push(1, 0, 0, 4);
+  for (int I = 0; I < 3; ++I)
+    Q.push(1, 0, 0, 4); // Entry 1 grows to 16 bytes.
+  // Object 0 is now 16 bytes behind: out of the window.
+  std::set<uint32_t> P = partners(Q, 2, 4);
+  EXPECT_EQ(P, (std::set<uint32_t>{1}));
+}
+
+TEST(AffinityQueue, NoSelfAffinity) {
+  AffinityQueue Q(64);
+  Q.push(7, 0, 0, 4);
+  Q.push(8, 0, 0, 4);
+  std::set<uint32_t> P = partners(Q, 7, 4); // 7 again (non-consecutive).
+  EXPECT_EQ(P, (std::set<uint32_t>{8}));    // Never itself.
+}
+
+TEST(AffinityQueue, NoDoubleCounting) {
+  // Object 3 appears twice in the window but is reported once.
+  AffinityQueue Q(64);
+  Q.push(3, 0, 0, 4);
+  Q.push(4, 0, 0, 4);
+  Q.push(3, 0, 0, 4);
+  const std::vector<AffinityQueue::Entry> &P = Q.push(5, 0, 0, 4);
+  int ThreeCount = 0;
+  for (const AffinityQueue::Entry &E : P)
+    ThreeCount += E.Object == 3;
+  EXPECT_EQ(ThreeCount, 1);
+}
+
+TEST(AffinityQueue, DoubleCountingWhenDisabled) {
+  AffinityQueue Q(64, /*Dedup=*/true, /*NoDoubleCount=*/false);
+  Q.push(3, 0, 0, 4);
+  Q.push(4, 0, 0, 4);
+  Q.push(3, 0, 0, 4);
+  const std::vector<AffinityQueue::Entry> &P = Q.push(5, 0, 0, 4);
+  int ThreeCount = 0;
+  for (const AffinityQueue::Entry &E : P)
+    ThreeCount += E.Object == 3;
+  EXPECT_EQ(ThreeCount, 2);
+}
+
+TEST(AffinityQueue, DedupDisabledRetriggersTraversal) {
+  AffinityQueue Q(64, /*Dedup=*/false);
+  Q.push(0, 0, 0, 4);
+  Q.push(1, 0, 0, 4);
+  EXPECT_FALSE(Q.push(1, 0, 0, 4).empty()); // Re-traverses; sees object 0.
+}
+
+TEST(AffinityQueue, OldEntriesPruned) {
+  AffinityQueue Q(16);
+  for (uint32_t Obj = 0; Obj < 100; ++Obj)
+    Q.push(Obj, 0, 0, 4);
+  EXPECT_LE(Q.size(), 5u); // Only ~A/4 entries can remain reachable.
+}
+
+TEST(AffinityQueue, PartnerMetadataPreserved) {
+  AffinityQueue Q(64);
+  Q.push(1, /*Node=*/42, /*AllocSeq=*/7, 4);
+  const std::vector<AffinityQueue::Entry> &P = Q.push(2, 43, 8, 4);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P[0].Object, 1u);
+  EXPECT_EQ(P[0].Node, 42u);
+  EXPECT_EQ(P[0].AllocSeq, 7u);
+}
+
+TEST(AffinityQueue, ZeroByteAccessCountsAsOne) {
+  AffinityQueue Q(4);
+  Q.push(0, 0, 0, 0);
+  Q.push(1, 0, 0, 0);
+  std::set<uint32_t> P = partners(Q, 2, 0);
+  EXPECT_EQ(P.size(), 2u); // 1-byte entries: both within 4 bytes.
+}

@@ -1,0 +1,99 @@
+//===- tests/arena_test.cpp - VirtualArena tests ------------------------------===//
+
+#include "mem/Arena.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+TEST(Arena, ReservationsAreDisjointAndAligned) {
+  VirtualArena Arena(0x1000000);
+  uint64_t A = Arena.reserve(100);
+  uint64_t B = Arena.reserve(100);
+  EXPECT_EQ(A % VirtualArena::PageSize, 0u);
+  EXPECT_EQ(B % VirtualArena::PageSize, 0u);
+  EXPECT_GE(B, A + VirtualArena::PageSize); // Sizes round to whole pages.
+}
+
+TEST(Arena, CustomAlignmentHonoured) {
+  VirtualArena Arena(0x1000000);
+  Arena.reserve(VirtualArena::PageSize); // Misalign the cursor.
+  uint64_t Aligned = Arena.reserve(1 << 20, 1 << 20);
+  EXPECT_EQ(Aligned % (1 << 20), 0u);
+}
+
+TEST(Arena, ReservedBytesTracked) {
+  VirtualArena Arena(0x1000000);
+  EXPECT_EQ(Arena.reservedBytes(), 0u);
+  uint64_t A = Arena.reserve(100); // Rounds to one page.
+  EXPECT_EQ(Arena.reservedBytes(), VirtualArena::PageSize);
+  Arena.release(A);
+  EXPECT_EQ(Arena.reservedBytes(), 0u);
+}
+
+TEST(Arena, TouchMakesPagesResident) {
+  VirtualArena Arena(0x1000000);
+  uint64_t A = Arena.reserve(4 * VirtualArena::PageSize);
+  EXPECT_EQ(Arena.residentBytes(), 0u); // Demand paging: nothing yet.
+  Arena.touch(A, 1);
+  EXPECT_EQ(Arena.residentBytes(), VirtualArena::PageSize);
+  Arena.touch(A, 4 * VirtualArena::PageSize);
+  EXPECT_EQ(Arena.residentBytes(), 4 * VirtualArena::PageSize);
+}
+
+TEST(Arena, TouchSpanningPageBoundary) {
+  VirtualArena Arena(0x1000000);
+  uint64_t A = Arena.reserve(2 * VirtualArena::PageSize);
+  Arena.touch(A + VirtualArena::PageSize - 8, 16);
+  EXPECT_EQ(Arena.residentBytes(), 2 * VirtualArena::PageSize);
+}
+
+TEST(Arena, TouchIsIdempotent) {
+  VirtualArena Arena(0x1000000);
+  uint64_t A = Arena.reserve(VirtualArena::PageSize);
+  Arena.touch(A, 64);
+  Arena.touch(A, 64);
+  EXPECT_EQ(Arena.residentBytes(), VirtualArena::PageSize);
+}
+
+TEST(Arena, PurgeDropsWholePagesOnly) {
+  VirtualArena Arena(0x1000000);
+  uint64_t A = Arena.reserve(4 * VirtualArena::PageSize);
+  Arena.touch(A, 4 * VirtualArena::PageSize);
+  // Purge a range that covers pages 1 and 2 fully, page 0 and 3 partially.
+  Arena.purge(A + 8, 3 * VirtualArena::PageSize);
+  EXPECT_EQ(Arena.residentBytes(), 2 * VirtualArena::PageSize);
+}
+
+TEST(Arena, ReleaseDropsResidency) {
+  VirtualArena Arena(0x1000000);
+  uint64_t A = Arena.reserve(2 * VirtualArena::PageSize);
+  Arena.touch(A, 2 * VirtualArena::PageSize);
+  Arena.release(A);
+  EXPECT_EQ(Arena.residentBytes(), 0u);
+}
+
+TEST(Arena, CoversChecksBounds) {
+  VirtualArena Arena(0x1000000);
+  uint64_t A = Arena.reserve(VirtualArena::PageSize);
+  EXPECT_TRUE(Arena.covers(A, VirtualArena::PageSize));
+  EXPECT_TRUE(Arena.covers(A + 100, 8));
+  EXPECT_FALSE(Arena.covers(A + VirtualArena::PageSize, 1));
+  EXPECT_FALSE(Arena.covers(A - 1, 1));
+}
+
+TEST(Arena, DistinctArenasDoNotCollide) {
+  VirtualArena A(0x1000000), B(0x2000000);
+  uint64_t RA = A.reserve(VirtualArena::PageSize);
+  uint64_t RB = B.reserve(VirtualArena::PageSize);
+  EXPECT_NE(RA, RB);
+}
+
+TEST(Arena, ReservationCount) {
+  VirtualArena Arena(0x1000000);
+  uint64_t A = Arena.reserve(1);
+  Arena.reserve(1);
+  EXPECT_EQ(Arena.reservationCount(), 2u);
+  Arena.release(A);
+  EXPECT_EQ(Arena.reservationCount(), 1u);
+}

@@ -1,0 +1,166 @@
+//===- tests/cache_test.cpp - Cache / TLB / hierarchy tests -------------------===//
+
+#include "sim/MemoryHierarchy.h"
+#include "sim/TimingModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+TEST(Cache, FirstAccessMissesSecondHits) {
+  Cache C(CacheConfig{1024, 2, 64, "t"});
+  EXPECT_FALSE(C.access(0));
+  EXPECT_TRUE(C.access(0));
+  EXPECT_TRUE(C.access(63)); // Same line.
+  EXPECT_FALSE(C.access(64)); // Next line.
+  EXPECT_EQ(C.hits(), 2u);
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way, 64B lines, 2 sets -> set stride 128.
+  Cache C(CacheConfig{256, 2, 64, "t"});
+  C.access(0);   // Set 0, tag A.
+  C.access(128); // Set 0, tag B.
+  C.access(0);   // Touch A: B becomes LRU.
+  C.access(256); // Set 0, tag C: evicts B.
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_FALSE(C.contains(128));
+  EXPECT_TRUE(C.contains(256));
+}
+
+TEST(Cache, SetsAreIndependent) {
+  Cache C(CacheConfig{256, 2, 64, "t"});
+  C.access(0);  // Set 0.
+  C.access(64); // Set 1.
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_TRUE(C.contains(64));
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  Cache C(CacheConfig{32 * 1024, 8, 64, "t"});
+  // Two passes over 64 KiB: every access misses (LRU, sequential).
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (uint64_t Addr = 0; Addr < 64 * 1024; Addr += 64)
+      C.access(Addr);
+  EXPECT_EQ(C.misses(), 2048u);
+  EXPECT_EQ(C.hits(), 0u);
+}
+
+TEST(Cache, WorkingSetFittingCacheHitsOnSecondPass) {
+  Cache C(CacheConfig{32 * 1024, 8, 64, "t"});
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (uint64_t Addr = 0; Addr < 16 * 1024; Addr += 64)
+      C.access(Addr);
+  EXPECT_EQ(C.misses(), 256u);
+  EXPECT_EQ(C.hits(), 256u);
+}
+
+TEST(Cache, ResetClearsContentsAndCounters) {
+  Cache C(CacheConfig{1024, 2, 64, "t"});
+  C.access(0);
+  C.reset();
+  EXPECT_EQ(C.accesses(), 0u);
+  EXPECT_FALSE(C.contains(0));
+}
+
+TEST(Cache, NonPowerOfTwoSetCount) {
+  // 25344 KiB / 11 ways / 64B lines = 36864 sets, like the W-2195 L3.
+  Cache C(CacheConfig{25344 * 1024, 11, 64, "L3"});
+  EXPECT_EQ(C.numSets(), 36864u);
+  EXPECT_FALSE(C.access(1234567));
+  EXPECT_TRUE(C.access(1234567));
+}
+
+TEST(Tlb, PageGranularity) {
+  Tlb T(64, 4, 4096);
+  EXPECT_FALSE(T.access(0));
+  EXPECT_TRUE(T.access(4095)); // Same page.
+  EXPECT_FALSE(T.access(4096));
+}
+
+TEST(Tlb, CapacityEviction) {
+  Tlb T(4, 4, 4096); // Fully associative, 4 entries.
+  for (uint64_t P = 0; P < 5; ++P)
+    T.access(P * 4096);
+  EXPECT_FALSE(T.access(0)); // Evicted by the fifth page.
+}
+
+TEST(Hierarchy, LatenciesPerLevel) {
+  HierarchyConfig Cfg;
+  MemoryHierarchy M(Cfg);
+  // Cold access: TLB miss + memory access.
+  uint64_t Cold = M.access(0, 8);
+  EXPECT_EQ(Cold, Cfg.Latency.TlbMiss + Cfg.Latency.Memory);
+  // Hot access: L1 hit, TLB hit.
+  uint64_t Hot = M.access(0, 8);
+  EXPECT_EQ(Hot, Cfg.Latency.L1Hit);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  HierarchyConfig Cfg;
+  MemoryHierarchy M(Cfg);
+  M.access(0, 8);
+  // Page-aligned addresses all map to L1 set 0 (64 sets, 64B lines); eight
+  // of them evict line 0 from L1 while leaving it in L2 and keeping page 0
+  // in the TLB (pages 1..8 land in other TLB sets).
+  for (uint64_t I = 1; I <= 8; ++I)
+    M.access(I * 4096, 8);
+  MemoryCounters Before = M.counters();
+  uint64_t Cycles = M.access(0, 8);
+  MemoryCounters After = M.counters();
+  EXPECT_EQ(After.L1Misses, Before.L1Misses + 1);
+  EXPECT_EQ(After.L2Misses, Before.L2Misses); // Served by L2.
+  EXPECT_EQ(Cycles, Cfg.Latency.L2Hit);
+}
+
+TEST(Hierarchy, MultiLineAccessTouchesEachLine) {
+  MemoryHierarchy M;
+  M.access(0, 256); // Four lines.
+  EXPECT_EQ(M.counters().Accesses, 4u);
+  // Unaligned span crossing one boundary: two lines.
+  M.reset();
+  M.access(60, 8);
+  EXPECT_EQ(M.counters().Accesses, 2u);
+}
+
+TEST(Hierarchy, ZeroSizeAccessTouchesOneLine) {
+  MemoryHierarchy M;
+  M.access(100, 0);
+  EXPECT_EQ(M.counters().Accesses, 1u);
+}
+
+TEST(Hierarchy, StallCyclesAccumulate) {
+  MemoryHierarchy M;
+  M.access(0, 8);
+  M.access(0, 8);
+  MemoryCounters C = M.counters();
+  EXPECT_EQ(C.StallCycles,
+            HierarchyConfig().Latency.TlbMiss +
+                HierarchyConfig().Latency.Memory +
+                HierarchyConfig().Latency.L1Hit);
+}
+
+TEST(Hierarchy, ResetClearsEverything) {
+  MemoryHierarchy M;
+  M.access(0, 64);
+  M.reset();
+  MemoryCounters C = M.counters();
+  EXPECT_EQ(C.Accesses, 0u);
+  EXPECT_EQ(C.StallCycles, 0u);
+}
+
+TEST(Timing, AccumulatesAllBuckets) {
+  TimingModel T;
+  T.addCompute(100);
+  T.addMemory(50);
+  T.addAllocatorCall();
+  T.addInstrumentationOp();
+  CostModel Costs;
+  EXPECT_EQ(T.totalCycles(),
+            100 + 50 + Costs.AllocCall + Costs.InstrumentationOp);
+  EXPECT_EQ(T.instrumentationOps(), 1u);
+  EXPECT_GT(T.seconds(), 0.0);
+  T.reset();
+  EXPECT_EQ(T.totalCycles(), 0u);
+}

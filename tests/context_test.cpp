@@ -1,0 +1,163 @@
+//===- tests/context_test.cpp - Context reduction / shadow stack tests -------===//
+
+#include "trace/Context.h"
+#include "trace/ShadowStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+namespace {
+
+/// A little binary: main calls a/b; a can recurse; lib is an untraceable
+/// external function with a call site back into the binary.
+struct TestProgram {
+  Program P;
+  FunctionId Main, A, B, Lib;
+  CallSiteId MainToA, MainToB, AToA, AToB, MainToLib, LibToB, AMalloc, BMalloc;
+
+  TestProgram() {
+    Main = P.addFunction("main");
+    A = P.addFunction("a");
+    B = P.addFunction("b");
+    Lib = P.addFunction("libhelper", /*IsExternal=*/true);
+    MainToA = P.addCallSite(Main, A, "main>a");
+    MainToB = P.addCallSite(Main, B, "main>b");
+    AToA = P.addCallSite(A, A, "a>a");
+    AToB = P.addCallSite(A, B, "a>b");
+    MainToLib = P.addCallSite(Main, Lib, "main>lib");
+    LibToB = P.addCallSite(Lib, B, "lib>b"); // Call site in external code.
+    AMalloc = P.addMallocSite(A, "a>malloc");
+    BMalloc = P.addMallocSite(B, "b>malloc");
+  }
+};
+
+} // namespace
+
+TEST(ContextReduce, NoRecursionUnchanged) {
+  Context C = {{1, 10}, {2, 20}, {3, 30}};
+  EXPECT_EQ(reduceContext(C), C);
+}
+
+TEST(ContextReduce, KeepsMostRecentOfRepeatedPair) {
+  // a>a>a recursion: three identical (function, site) pairs.
+  Context C = {{1, 10}, {2, 20}, {2, 20}, {2, 20}, {3, 30}};
+  Context Expected = {{1, 10}, {2, 20}, {3, 30}};
+  EXPECT_EQ(reduceContext(C), Expected);
+}
+
+TEST(ContextReduce, MostRecentInstanceSurvives) {
+  // Mutual recursion a>b>a>b: the *later* duplicates survive, preserving
+  // relative order of the retained frames.
+  Context C = {{1, 10}, {2, 20}, {1, 10}, {2, 20}};
+  Context Expected = {{1, 10}, {2, 20}};
+  EXPECT_EQ(reduceContext(C), Expected);
+}
+
+TEST(ContextReduce, SameFunctionDifferentSitesKept) {
+  // Recursive calls through *different* call sites are distinct pairs.
+  Context C = {{2, 20}, {2, 21}, {2, 20}};
+  Context Expected = {{2, 21}, {2, 20}};
+  EXPECT_EQ(reduceContext(C), Expected);
+}
+
+TEST(ContextTable, InternsDeterministically) {
+  ContextTable T;
+  Context C1 = {{1, 10}, {2, 20}};
+  Context C2 = {{1, 10}, {2, 21}};
+  ContextId I1 = T.intern(C1);
+  ContextId I2 = T.intern(C2);
+  EXPECT_NE(I1, I2);
+  EXPECT_EQ(T.intern(C1), I1);
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(ContextTable, ChainIsSortedUniqueSites) {
+  ContextTable T;
+  ContextId Id = T.intern({{1, 30}, {2, 10}, {3, 30}});
+  const ContextInfo &Info = T.info(Id);
+  EXPECT_EQ(Info.Chain, (std::vector<CallSiteId>{10, 30}));
+  EXPECT_TRUE(Info.chainContains(10));
+  EXPECT_FALSE(Info.chainContains(20));
+}
+
+TEST(ShadowStack, PushesMainBinaryCalls) {
+  TestProgram TP;
+  ShadowStack S(TP.P);
+  S.onCall(TP.MainToA);
+  S.onCall(TP.AToB);
+  ASSERT_EQ(S.frames().size(), 2u);
+  EXPECT_EQ(S.frames()[0].Function, TP.A);
+  EXPECT_EQ(S.frames()[1].Function, TP.B);
+  S.onReturn();
+  EXPECT_EQ(S.frames().size(), 1u);
+}
+
+TEST(ShadowStack, SkipsUntraceableExternalTargets) {
+  TestProgram TP;
+  ShadowStack S(TP.P);
+  S.onCall(TP.MainToLib); // External target: no frame.
+  EXPECT_EQ(S.frames().size(), 0u);
+  EXPECT_EQ(S.rawDepth(), 1u);
+  S.onReturn();
+  EXPECT_EQ(S.rawDepth(), 0u);
+}
+
+TEST(ShadowStack, ExternalCallSiteTracedToOrigin) {
+  TestProgram TP;
+  ShadowStack S(TP.P);
+  S.onCall(TP.MainToA);  // Main-binary frame: site main>a.
+  S.onCall(TP.MainToLib); // Into external code (modelling a callback).
+  S.onCall(TP.LibToB);   // Call site inside external code.
+  ASSERT_EQ(S.frames().size(), 2u);
+  // b's frame is attributed to the nearest main-binary site, main>a.
+  EXPECT_EQ(S.frames()[1].Function, TP.B);
+  EXPECT_EQ(S.frames()[1].Site, TP.MainToA);
+}
+
+TEST(ShadowStack, AllocationContextAppendsMallocFrame) {
+  TestProgram TP;
+  ShadowStack S(TP.P);
+  S.onCall(TP.MainToA);
+  Context C = S.allocationContext(TP.AMalloc);
+  ASSERT_EQ(C.size(), 2u);
+  EXPECT_EQ(C[0].Site, TP.MainToA);
+  EXPECT_EQ(C[1].Function, TP.P.mallocFunction());
+  EXPECT_EQ(C[1].Site, TP.AMalloc);
+}
+
+TEST(ShadowStack, RecursiveStackReduces) {
+  TestProgram TP;
+  ShadowStack S(TP.P);
+  S.onCall(TP.MainToA);
+  S.onCall(TP.AToA);
+  S.onCall(TP.AToA);
+  S.onCall(TP.AToA);
+  EXPECT_EQ(S.frames().size(), 4u);
+  Context C = S.allocationContext(TP.AMalloc);
+  // Reduced: main>a, a>a (once), malloc.
+  ASSERT_EQ(C.size(), 3u);
+  EXPECT_EQ(C[0].Site, TP.MainToA);
+  EXPECT_EQ(C[1].Site, TP.AToA);
+  EXPECT_EQ(C[2].Site, TP.AMalloc);
+}
+
+TEST(ShadowStack, BalancedAfterMixedCalls) {
+  TestProgram TP;
+  ShadowStack S(TP.P);
+  S.onCall(TP.MainToA);
+  S.onCall(TP.MainToLib);
+  S.onCall(TP.LibToB);
+  S.onReturn();
+  S.onReturn();
+  S.onReturn();
+  EXPECT_EQ(S.frames().size(), 0u);
+  EXPECT_EQ(S.rawDepth(), 0u);
+}
+
+TEST(ContextTable, DescribeUsesLabels) {
+  TestProgram TP;
+  ContextTable T;
+  ContextId Id = T.intern({{TP.A, TP.MainToA}, {TP.B, TP.AToB}});
+  EXPECT_EQ(T.describe(Id, TP.P), "main>a>a>b");
+}

@@ -1,0 +1,112 @@
+//===- tests/eval_test.cpp - Evaluation harness ------------------------------===//
+
+#include "eval/Evaluation.h"
+#include "eval/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+TEST(PaperSetup, OmnetppFlags) {
+  BenchmarkSetup S = paperSetup("omnetpp");
+  EXPECT_EQ(S.Halo.Allocator.ChunkSize, 128u * 1024u);
+  EXPECT_EQ(S.Halo.Allocator.MaxSpareChunks, 0u);
+  EXPECT_FALSE(S.Halo.Allocator.PurgeEmptyChunks);
+  EXPECT_EQ(S.Hds.Allocator.ChunkSize, 128u * 1024u);
+}
+
+TEST(PaperSetup, XalancFlags) {
+  BenchmarkSetup S = paperSetup("xalanc");
+  EXPECT_FALSE(S.Halo.Allocator.PurgeEmptyChunks);
+  EXPECT_EQ(S.Halo.Allocator.ChunkSize, 1u << 20);
+}
+
+TEST(PaperSetup, RomsFlags) {
+  BenchmarkSetup S = paperSetup("roms");
+  EXPECT_EQ(S.Halo.Grouping.MaxGroups, 4u);
+}
+
+TEST(PaperSetup, DefaultsMatchSection51) {
+  BenchmarkSetup S = paperSetup("health");
+  EXPECT_EQ(S.Halo.Profile.AffinityDistance, 128u);
+  EXPECT_DOUBLE_EQ(S.Halo.Grouping.MergeTolerance, 0.05);
+  EXPECT_EQ(S.Halo.Allocator.ChunkSize, 1u << 20);
+  EXPECT_EQ(S.Halo.Allocator.MaxGroupedSize, 4096u);
+  EXPECT_EQ(S.Halo.Allocator.MaxSpareChunks, 1u);
+  EXPECT_EQ(S.ProfileScale, Scale::Test);
+}
+
+TEST(Evaluation, BaselineMetricsPopulated) {
+  Evaluation E(paperSetup("ft"));
+  RunMetrics M = E.measure(AllocatorKind::Jemalloc, Scale::Test, 1);
+  EXPECT_GT(M.Seconds, 0.0);
+  EXPECT_GT(M.Cycles, 0u);
+  EXPECT_GT(M.Mem.Accesses, 0u);
+  EXPECT_GT(M.Mem.L1Misses, 0u);
+  EXPECT_GT(M.Events.Allocs, 0u);
+  EXPECT_EQ(M.InstrumentationOps, 0u);
+}
+
+TEST(Evaluation, HaloRunGroupsAllocations) {
+  Evaluation E(paperSetup("health"));
+  RunMetrics M = E.measure(AllocatorKind::Halo, Scale::Test, 1);
+  EXPECT_GT(M.GroupedAllocs, 0u);
+  EXPECT_GT(M.ForwardedAllocs, 0u);
+  EXPECT_GT(M.InstrumentationOps, 0u);
+  EXPECT_GT(M.Frag.PeakResident, 0u);
+}
+
+TEST(Evaluation, HaloBeatsBaselineOnHealth) {
+  // The paper's headline case, at test scale: HALO must reduce L1D misses.
+  Evaluation E(paperSetup("health"));
+  RunMetrics Base = E.measure(AllocatorKind::Jemalloc, Scale::Test, 1);
+  RunMetrics Halo = E.measure(AllocatorKind::Halo, Scale::Test, 1);
+  EXPECT_LT(Halo.Mem.L1Misses, Base.Mem.L1Misses);
+}
+
+TEST(Evaluation, InstrumentedOnlyRunCostsAlmostNothing) {
+  Evaluation E(paperSetup("ft"));
+  RunMetrics Base = E.measure(AllocatorKind::Jemalloc, Scale::Test, 1);
+  RunMetrics Instr =
+      E.measure(AllocatorKind::HaloInstrumentedOnly, Scale::Test, 1);
+  EXPECT_GT(Instr.InstrumentationOps, 0u);
+  // Identical memory behaviour, tiny cycle delta (Section 5.2: noise
+  // dwarfs instrumentation overhead).
+  EXPECT_EQ(Instr.Mem.L1Misses, Base.Mem.L1Misses);
+  EXPECT_LT(Instr.Seconds, Base.Seconds * 1.01);
+}
+
+TEST(Evaluation, TrialsVaryBySeed) {
+  Evaluation E(paperSetup("ft"));
+  auto Runs = E.measureTrials(AllocatorKind::Jemalloc, Scale::Test, 3);
+  ASSERT_EQ(Runs.size(), 3u);
+  EXPECT_GT(Evaluation::medianSeconds(Runs), 0.0);
+  EXPECT_GT(Evaluation::medianL1Misses(Runs), 0.0);
+}
+
+TEST(Evaluation, RandomPoolsMeasurable) {
+  Evaluation E(paperSetup("art"));
+  RunMetrics M = E.measure(AllocatorKind::RandomPools, Scale::Test, 1);
+  EXPECT_GT(M.Mem.L1Misses, 0u);
+}
+
+TEST(Evaluation, PtmallocWorseThanJemallocOnListWorkloads) {
+  // Section 5.1: jemalloc universally outperforms ptmalloc2 as a baseline.
+  Evaluation E(paperSetup("health"));
+  RunMetrics Je = E.measure(AllocatorKind::Jemalloc, Scale::Test, 1);
+  RunMetrics Pt = E.measure(AllocatorKind::Ptmalloc, Scale::Test, 1);
+  EXPECT_GT(Pt.Mem.L1Misses, Je.Mem.L1Misses);
+}
+
+TEST(Report, RendersAlignedTable) {
+  Report R("demo");
+  R.setColumns({"bench", "value"});
+  R.addRow({"health", "28.0%"});
+  R.addRow({"ft", "9.5%"});
+  R.addNote("a note");
+  std::string Text = R.str();
+  EXPECT_NE(Text.find("== demo =="), std::string::npos);
+  EXPECT_NE(Text.find("bench"), std::string::npos);
+  EXPECT_NE(Text.find("health  28.0%"), std::string::npos);
+  EXPECT_NE(Text.find("note: a note"), std::string::npos);
+}

@@ -1,0 +1,159 @@
+//===- tests/graph_test.cpp - Affinity graph / score tests --------------------===//
+
+#include "graph/AffinityGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+TEST(Graph, EdgeWeightsAccumulateUndirected) {
+  AffinityGraph G;
+  G.addEdgeWeight(1, 2, 5);
+  G.addEdgeWeight(2, 1, 3);
+  EXPECT_EQ(G.edgeWeight(1, 2), 8u);
+  EXPECT_EQ(G.edgeWeight(2, 1), 8u);
+  EXPECT_EQ(G.numEdges(), 1u);
+}
+
+TEST(Graph, LoopEdgesAllowed) {
+  AffinityGraph G;
+  G.addEdgeWeight(4, 4, 7);
+  EXPECT_EQ(G.edgeWeight(4, 4), 7u);
+}
+
+TEST(Graph, NodeAccessesAndTotal) {
+  AffinityGraph G;
+  G.addAccesses(1, 10);
+  G.addAccesses(2, 20);
+  G.addAccesses(1, 5);
+  EXPECT_EQ(G.nodeAccesses(1), 15u);
+  EXPECT_EQ(G.totalAccesses(), 35u);
+}
+
+TEST(Graph, EdgesCreateImplicitNodes) {
+  AffinityGraph G;
+  G.addEdgeWeight(1, 2, 1);
+  EXPECT_TRUE(G.hasNode(1));
+  EXPECT_TRUE(G.hasNode(2));
+  EXPECT_EQ(G.nodeAccesses(1), 0u);
+}
+
+TEST(Graph, RemoveLightEdges) {
+  AffinityGraph G;
+  G.addEdgeWeight(1, 2, 10);
+  G.addEdgeWeight(2, 3, 1);
+  G.removeLightEdges(5);
+  EXPECT_EQ(G.edgeWeight(1, 2), 10u);
+  EXPECT_EQ(G.edgeWeight(2, 3), 0u);
+}
+
+TEST(Graph, ColdNodeFilterKeepsCoverage) {
+  // Section 4.1: iterate hottest-first, keep until 90% of accesses covered.
+  AffinityGraph G;
+  G.addAccesses(1, 80);
+  G.addAccesses(2, 15);
+  G.addAccesses(3, 4);
+  G.addAccesses(4, 1);
+  G.addEdgeWeight(1, 4, 3);
+  G.filterColdNodes(0.9);
+  EXPECT_TRUE(G.hasNode(1));
+  EXPECT_TRUE(G.hasNode(2));  // 80+15 = 95% covers the threshold.
+  EXPECT_FALSE(G.hasNode(3)); // Discarded extraneous context.
+  EXPECT_FALSE(G.hasNode(4));
+  EXPECT_EQ(G.edgeWeight(1, 4), 0u); // Edges to dropped nodes vanish.
+  EXPECT_EQ(G.totalAccesses(), 95u);
+}
+
+TEST(Graph, ColdNodeFilterFullCoverageKeepsAll) {
+  AffinityGraph G;
+  G.addAccesses(1, 1);
+  G.addAccesses(2, 1);
+  G.filterColdNodes(1.0);
+  EXPECT_EQ(G.numNodes(), 2u);
+}
+
+TEST(Graph, ScoreOfPlainPair) {
+  // Two nodes, one edge of weight 6: s = 6 / (0 + 1) = 6.
+  AffinityGraph G;
+  G.addEdgeWeight(1, 2, 6);
+  EXPECT_DOUBLE_EQ(G.score({1, 2}), 6.0);
+}
+
+TEST(Graph, ScoreCountsLoopsInDenominator) {
+  // Figure 7: loops contribute |L| to the denominator only when present.
+  AffinityGraph G;
+  G.addEdgeWeight(1, 2, 6);
+  G.addEdgeWeight(1, 1, 4);
+  // sum(w) = 10, |L| = 1, pairs = 1 -> 10 / 2.
+  EXPECT_DOUBLE_EQ(G.score({1, 2}), 5.0);
+}
+
+TEST(Graph, ScoreSingletonWithoutLoopIsZero) {
+  AffinityGraph G;
+  G.addAccesses(1, 10);
+  EXPECT_DOUBLE_EQ(G.score({1}), 0.0);
+}
+
+TEST(Graph, ScoreSingletonWithLoop) {
+  AffinityGraph G;
+  G.addEdgeWeight(1, 1, 8);
+  EXPECT_DOUBLE_EQ(G.score({1}), 8.0); // 8 / (1 + 0).
+}
+
+TEST(Graph, ScoreOfTriangle) {
+  AffinityGraph G;
+  G.addEdgeWeight(1, 2, 3);
+  G.addEdgeWeight(2, 3, 3);
+  G.addEdgeWeight(1, 3, 3);
+  // 9 / (0 + 3) = 3.
+  EXPECT_DOUBLE_EQ(G.score({1, 2, 3}), 3.0);
+}
+
+TEST(Graph, ScoreDilutesWithDisconnectedNode) {
+  AffinityGraph G;
+  G.addEdgeWeight(1, 2, 6);
+  G.addAccesses(3, 1);
+  // 6 / (0 + 3 pairs) = 2: adding a stranger drops density.
+  EXPECT_DOUBLE_EQ(G.score({1, 2, 3}), 2.0);
+}
+
+TEST(Graph, SubgraphWeightIncludesLoops) {
+  AffinityGraph G;
+  G.addEdgeWeight(1, 2, 5);
+  G.addEdgeWeight(1, 1, 2);
+  G.addEdgeWeight(2, 3, 100); // Outside the subset.
+  EXPECT_EQ(G.subgraphWeight({1, 2}), 7u);
+}
+
+TEST(Graph, NodesAndEdgesDeterministicOrder) {
+  AffinityGraph G;
+  G.addEdgeWeight(5, 3, 1);
+  G.addEdgeWeight(2, 7, 1);
+  std::vector<GraphNodeId> N = G.nodes();
+  EXPECT_EQ(N, (std::vector<GraphNodeId>{2, 3, 5, 7}));
+  std::vector<AffinityGraph::Edge> E = G.edges();
+  ASSERT_EQ(E.size(), 2u);
+  EXPECT_EQ(E[0].U, 2u);
+  EXPECT_EQ(E[1].U, 3u);
+}
+
+TEST(Graph, DotOutputColoursGroups) {
+  AffinityGraph G;
+  G.addAccesses(0, 5);
+  G.addAccesses(1, 5);
+  G.addEdgeWeight(0, 1, 9);
+  std::string Dot =
+      G.toDot({"ctxA", "ctxB"}, {0, -1}, /*MinEdgeWeight=*/0);
+  EXPECT_NE(Dot.find("ctxA"), std::string::npos);
+  EXPECT_NE(Dot.find("#d9d9d9"), std::string::npos); // Ungrouped grey.
+  EXPECT_NE(Dot.find("--"), std::string::npos);
+}
+
+TEST(Graph, DotHidesLightEdges) {
+  AffinityGraph G;
+  G.addEdgeWeight(0, 1, 1);
+  G.addEdgeWeight(1, 2, 100);
+  std::string Dot = G.toDot({}, {}, /*MinEdgeWeight=*/50);
+  EXPECT_EQ(Dot.find("\"0\" -- \"1\""), std::string::npos);
+  EXPECT_NE(Dot.find("\"1\" -- \"2\""), std::string::npos);
+}

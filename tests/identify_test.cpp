@@ -1,0 +1,174 @@
+//===- tests/identify_test.cpp - Selector construction (Fig. 10) --------------===//
+
+#include "identify/Identify.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+namespace {
+
+/// Builds a context table from explicit chains (each chain is a list of
+/// call sites; the function id is irrelevant to identification, so frames
+/// reuse the site as function id).
+ContextId addContext(ContextTable &T, std::vector<CallSiteId> Sites) {
+  Context C;
+  for (CallSiteId S : Sites)
+    C.push_back(CallFrame{S, S});
+  return T.intern(C);
+}
+
+Group makeGroup(std::vector<GraphNodeId> Members, uint64_t Accesses) {
+  Group G;
+  G.Members = std::move(Members);
+  G.Accesses = Accesses;
+  G.Weight = Accesses;
+  return G;
+}
+
+} // namespace
+
+TEST(Selector, ConjunctionMatchesSubset) {
+  Conjunction C;
+  C.Sites = {2, 5};
+  EXPECT_TRUE(C.matchesChain({1, 2, 5, 9}));
+  EXPECT_FALSE(C.matchesChain({1, 2, 9}));
+  EXPECT_TRUE(Conjunction().matchesChain({1})); // Empty conjunction: true.
+}
+
+TEST(Selector, DnfSemantics) {
+  Selector S;
+  S.Terms.push_back(Conjunction{{1}});
+  S.Terms.push_back(Conjunction{{2, 3}});
+  EXPECT_TRUE(S.matchesChain({1}));
+  EXPECT_TRUE(S.matchesChain({2, 3}));
+  EXPECT_FALSE(S.matchesChain({2}));
+  EXPECT_FALSE(Selector().matchesChain({1})); // Empty DNF: false.
+}
+
+TEST(Selector, ReferencedSitesUnion) {
+  Selector S;
+  S.Terms.push_back(Conjunction{{3, 1}});
+  S.Terms.push_back(Conjunction{{1, 7}});
+  EXPECT_EQ(S.referencedSites(), (std::vector<CallSiteId>{1, 3, 7}));
+}
+
+TEST(Identify, PovrayShapeSelectors) {
+  // The paper's motivating case: contexts A, B (grouped) and C share the
+  // wrapper's malloc site 9; they differ in the create_* sites 1, 2, 3.
+  ContextTable T;
+  ContextId A = addContext(T, {0, 1, 8, 9});
+  ContextId B = addContext(T, {0, 2, 8, 9});
+  addContext(T, {0, 3, 8, 9}); // C: the conflicting context.
+  std::vector<Group> Groups = {makeGroup({A, B}, 100)};
+
+  IdentificationResult R = identifyGroups(Groups, T);
+  ASSERT_EQ(R.Selectors.size(), 1u);
+  const Selector &S = R.Selectors[0];
+  // The selector accepts A and B but rejects C.
+  EXPECT_TRUE(S.matchesChain(T.info(A).Chain));
+  EXPECT_TRUE(S.matchesChain(T.info(B).Chain));
+  EXPECT_FALSE(S.matchesChain({0, 3, 8, 9}));
+  // Only the discriminating sites are instrumented -- "a small handful".
+  EXPECT_EQ(R.Sites, (std::vector<CallSiteId>{1, 2}));
+}
+
+TEST(Identify, SingleMemberZeroConflicts) {
+  ContextTable T;
+  ContextId A = addContext(T, {1, 2});
+  addContext(T, {3, 4});
+  std::vector<Group> Groups = {makeGroup({A}, 10)};
+  IdentificationResult R = identifyGroups(Groups, T);
+  ASSERT_EQ(R.Selectors.size(), 1u);
+  EXPECT_TRUE(R.Selectors[0].matchesChain(T.info(A).Chain));
+  EXPECT_FALSE(R.Selectors[0].matchesChain({3, 4}));
+  // One site suffices to reach zero conflicts.
+  ASSERT_EQ(R.Selectors[0].Terms.size(), 1u);
+  EXPECT_EQ(R.Selectors[0].Terms[0].Sites.size(), 1u);
+}
+
+TEST(Identify, MultipleConstraintsWhenSitesShared) {
+  // The member shares each individual site with some conflicting context;
+  // only the conjunction of two sites is unique.
+  ContextTable T;
+  ContextId M = addContext(T, {1, 2});
+  addContext(T, {1, 3});
+  addContext(T, {4, 2});
+  std::vector<Group> Groups = {makeGroup({M}, 10)};
+  IdentificationResult R = identifyGroups(Groups, T);
+  const Selector &S = R.Selectors[0];
+  EXPECT_TRUE(S.matchesChain(T.info(M).Chain));
+  EXPECT_FALSE(S.matchesChain({1, 3}));
+  EXPECT_FALSE(S.matchesChain({4, 2}));
+  EXPECT_EQ(S.Terms[0].Sites, (std::vector<CallSiteId>{1, 2}));
+}
+
+TEST(Identify, EarlierGroupsIgnoredAsConflicts) {
+  // Once a group is processed, its members stop counting as conflicts for
+  // later groups (the "ignore" set in Fig. 10).
+  ContextTable T;
+  ContextId A = addContext(T, {1, 9});
+  ContextId B = addContext(T, {2, 9});
+  std::vector<Group> Groups = {makeGroup({A}, 100), makeGroup({B}, 10)};
+  IdentificationResult R = identifyGroups(Groups, T);
+  // B's selector faces no conflicts at all (A is ignored), so its single
+  // cheapest site is enough -- even the shared site 9 would do.
+  EXPECT_TRUE(R.Selectors[1].matchesChain(T.info(B).Chain));
+}
+
+TEST(Identify, AmbiguousContextsKeepBestEffortSelector) {
+  // Two identical chains in different groups: conflicts can never reach
+  // zero; the selector still exists (best effort, may over-match).
+  ContextTable T;
+  ContextId A = addContext(T, {1, 2});
+  addContext(T, {1, 2, 3}); // Superset chain conflicts on every site of A.
+  std::vector<Group> Groups = {makeGroup({A}, 10)};
+  IdentificationResult R = identifyGroups(Groups, T);
+  ASSERT_EQ(R.Selectors.size(), 1u);
+  EXPECT_TRUE(R.Selectors[0].matchesChain(T.info(A).Chain));
+}
+
+TEST(Identify, CompiledSelectorMatchesStateVector) {
+  ContextTable T;
+  ContextId A = addContext(T, {1, 2});
+  addContext(T, {1, 3});
+  std::vector<Group> Groups = {makeGroup({A}, 10)};
+  IdentificationResult R = identifyGroups(Groups, T);
+  InstrumentationPlan Plan;
+  {
+    Program P;
+    FunctionId F = P.addFunction("f");
+    // Sites 0..4 exist in the program.
+    for (int I = 0; I < 5; ++I)
+      P.addMallocSite(F, "s" + std::to_string(I));
+    Plan = InstrumentationPlan(P, R.Sites);
+  }
+  CompiledSelector C = compileSelector(R.Selectors[0], Plan);
+  GroupStateVector State(Plan.numBits());
+  EXPECT_FALSE(C.matches(State));
+  for (CallSiteId S : R.Selectors[0].Terms[0].Sites)
+    State.set(Plan.bitFor(S));
+  EXPECT_TRUE(C.matches(State));
+}
+
+TEST(Identify, SitesDeduplicatedAcrossSelectors) {
+  ContextTable T;
+  ContextId A = addContext(T, {1, 7});
+  ContextId B = addContext(T, {2, 7});
+  addContext(T, {3, 7});
+  std::vector<Group> Groups = {makeGroup({A}, 100), makeGroup({B}, 50)};
+  IdentificationResult R = identifyGroups(Groups, T);
+  // No duplicate sites in the instrumentation list.
+  std::vector<CallSiteId> Sorted = R.Sites;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_TRUE(std::adjacent_find(Sorted.begin(), Sorted.end()) ==
+              Sorted.end());
+}
+
+TEST(Identify, NoGroupsNoSites) {
+  ContextTable T;
+  addContext(T, {1});
+  IdentificationResult R = identifyGroups({}, T);
+  EXPECT_TRUE(R.Selectors.empty());
+  EXPECT_TRUE(R.Sites.empty());
+}

@@ -1,0 +1,173 @@
+//===- tests/pipeline_test.cpp - End-to-end HALO pipeline ---------------------===//
+
+#include "core/Pipeline.h"
+#include "mem/SizeClassAllocator.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+namespace {
+
+/// A miniature povray: hot types A and B via a wrapper, cold type C.
+struct MiniPovray {
+  Program P;
+  FunctionId Main, Parse, CreateA, CreateB, CreateC, Wrapper, Render;
+  CallSiteId SParse, SA, SB, SC, SAW, SBW, SCW, SMalloc, SRender;
+
+  MiniPovray() {
+    Main = P.addFunction("main");
+    Parse = P.addFunction("parse");
+    CreateA = P.addFunction("create_a");
+    CreateB = P.addFunction("create_b");
+    CreateC = P.addFunction("create_c");
+    Wrapper = P.addFunction("wrap_malloc");
+    Render = P.addFunction("render");
+    SParse = P.addCallSite(Main, Parse, "main>parse");
+    SA = P.addCallSite(Parse, CreateA, "parse>create_a");
+    SB = P.addCallSite(Parse, CreateB, "parse>create_b");
+    SC = P.addCallSite(Parse, CreateC, "parse>create_c");
+    SAW = P.addCallSite(CreateA, Wrapper, "create_a>wrap");
+    SBW = P.addCallSite(CreateB, Wrapper, "create_b>wrap");
+    SCW = P.addCallSite(CreateC, Wrapper, "create_c>wrap");
+    SMalloc = P.addMallocSite(Wrapper, "wrap>malloc");
+    SRender = P.addCallSite(Main, Render, "main>render");
+  }
+
+  void run(Runtime &RT) {
+    std::vector<uint64_t> Hot, Cold;
+    {
+      Runtime::Scope Parse(RT, SParse);
+      for (int I = 0; I < 3000; ++I) {
+        {
+          Runtime::Scope C(RT, SA);
+          Runtime::Scope W(RT, SAW);
+          Hot.push_back(RT.malloc(16, SMalloc));
+        }
+        {
+          Runtime::Scope C(RT, SB);
+          Runtime::Scope W(RT, SBW);
+          Hot.push_back(RT.malloc(16, SMalloc));
+        }
+        {
+          Runtime::Scope C(RT, SC);
+          Runtime::Scope W(RT, SCW);
+          Cold.push_back(RT.malloc(16, SMalloc));
+        }
+      }
+    }
+    {
+      Runtime::Scope R(RT, SRender);
+      for (int Pass = 0; Pass < 10; ++Pass)
+        for (uint64_t Obj : Hot)
+          RT.load(Obj, 16);
+      for (uint64_t Obj : Cold)
+        RT.load(Obj, 8);
+    }
+  }
+};
+
+HaloParameters testParams() {
+  HaloParameters Params;
+  Params.Grouping.MinEdgeWeight = 2;
+  Params.Grouping.GroupWeightThreshold = 0.001;
+  return Params;
+}
+
+} // namespace
+
+TEST(Pipeline, FindsTheHotGroup) {
+  MiniPovray M;
+  HaloArtifacts Art = optimizeBinary(
+      M.P, [&](Runtime &RT) { M.run(RT); }, testParams());
+  ASSERT_GE(Art.Groups.size(), 1u);
+  // The most popular group holds exactly the two hot contexts.
+  EXPECT_EQ(Art.Groups[0].Members.size(), 2u);
+  for (GraphNodeId Member : Art.Groups[0].Members) {
+    const ContextInfo &Info = Art.Contexts.info(Member);
+    EXPECT_TRUE(Info.chainContains(M.SA) || Info.chainContains(M.SB));
+    EXPECT_FALSE(Info.chainContains(M.SC));
+  }
+}
+
+TEST(Pipeline, SelectorsDiscriminateAtRuntime) {
+  MiniPovray M;
+  HaloArtifacts Art = optimizeBinary(
+      M.P, [&](Runtime &RT) { M.run(RT); }, testParams());
+  ASSERT_GE(Art.CompiledSelectors.size(), 1u);
+
+  // Drive a runtime with the rewritten binary and check selector matching
+  // along the different call paths.
+  SizeClassAllocator Alloc;
+  Runtime RT(M.P, Alloc);
+  RT.setInstrumentation(&Art.Plan);
+  const CompiledSelector &Hot = Art.CompiledSelectors[0];
+  {
+    Runtime::Scope Parse(RT, M.SParse);
+    {
+      Runtime::Scope C(RT, M.SA);
+      Runtime::Scope W(RT, M.SAW);
+      EXPECT_TRUE(Hot.matches(RT.groupState()));
+    }
+    {
+      Runtime::Scope C(RT, M.SC);
+      Runtime::Scope W(RT, M.SCW);
+      EXPECT_FALSE(Hot.matches(RT.groupState()));
+    }
+    EXPECT_FALSE(Hot.matches(RT.groupState()));
+  }
+}
+
+TEST(Pipeline, InstrumentsOnlyAHandfulOfSites) {
+  MiniPovray M;
+  HaloArtifacts Art = optimizeBinary(
+      M.P, [&](Runtime &RT) { M.run(RT); }, testParams());
+  EXPECT_GT(Art.Plan.numInstrumentedSites(), 0u);
+  EXPECT_LE(Art.Plan.numInstrumentedSites(), 4u);
+}
+
+TEST(Pipeline, EndToEndReducesMisses) {
+  MiniPovray M;
+  HaloArtifacts Art = optimizeBinary(
+      M.P, [&](Runtime &RT) { M.run(RT); }, testParams());
+
+  auto MeasureMisses = [&](bool UseHalo) {
+    MemoryHierarchy Mem;
+    SizeClassAllocator Backing;
+    Runtime RT(M.P, Backing);
+    std::unique_ptr<SelectorGroupPolicy> Policy;
+    std::unique_ptr<GroupAllocator> GA;
+    if (UseHalo) {
+      RT.setInstrumentation(&Art.Plan);
+      Policy = std::make_unique<SelectorGroupPolicy>(RT.groupState(),
+                                                     Art.CompiledSelectors);
+      GA = std::make_unique<GroupAllocator>(Backing, *Policy);
+      RT.setAllocator(*GA);
+    }
+    RT.setMemory(&Mem);
+    M.run(RT);
+    return Mem.counters().L1Misses;
+  };
+
+  uint64_t Baseline = MeasureMisses(false);
+  uint64_t Halo = MeasureMisses(true);
+  EXPECT_LT(Halo, Baseline); // Hot objects packed: fewer L1D misses.
+}
+
+TEST(Pipeline, GroupsAsDotMentionsEveryGroupColour) {
+  MiniPovray M;
+  HaloArtifacts Art = optimizeBinary(
+      M.P, [&](Runtime &RT) { M.run(RT); }, testParams());
+  std::string Dot = Art.groupsAsDot(M.P);
+  EXPECT_NE(Dot.find("graph"), std::string::npos);
+  EXPECT_NE(Dot.find("create_a"), std::string::npos);
+}
+
+TEST(Pipeline, ProfiledAccessCountsPlausible) {
+  MiniPovray M;
+  HaloArtifacts Art = optimizeBinary(
+      M.P, [&](Runtime &RT) { M.run(RT); }, testParams());
+  // 6000 hot objects * 10 passes + 3000 cold loads, as macro accesses.
+  EXPECT_GT(Art.ProfiledAccesses, 60000u);
+  EXPECT_LE(Art.ProfiledAccesses, 63000u);
+}

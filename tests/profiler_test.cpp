@@ -1,0 +1,286 @@
+//===- tests/profiler_test.cpp - HeapProfiler behaviour -----------------------===//
+
+#include "mem/SizeClassAllocator.h"
+#include "profile/HeapProfiler.h"
+#include "profile/LiveObjectMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+namespace {
+
+/// Two allocation sites inside one function; a scripted driver allocates
+/// and accesses objects to produce known affinity patterns.
+struct ProfilerHarness {
+  Program P;
+  FunctionId Main, F;
+  CallSiteId MainToF, SiteA, SiteB, SiteC;
+  SizeClassAllocator Alloc;
+  ProfileOptions Options;
+
+  ProfilerHarness() {
+    Main = P.addFunction("main");
+    F = P.addFunction("f");
+    MainToF = P.addCallSite(Main, F, "main>f");
+    SiteA = P.addMallocSite(F, "f>mallocA");
+    SiteB = P.addMallocSite(F, "f>mallocB");
+    SiteC = P.addMallocSite(Main, "main>mallocC");
+    Options.AffinityDistance = 64;
+    Options.NodeCoverage = 1.0; // Keep everything unless a test filters.
+  }
+};
+
+} // namespace
+
+TEST(LiveObjectMap, InsertFindErase) {
+  LiveObjectMap M;
+  ObjectId A = M.insert(1000, 64, 0, 0);
+  ObjectId B = M.insert(2000, 32, 1, 1);
+  EXPECT_EQ(M.find(1000), A);
+  EXPECT_EQ(M.find(1063), A);
+  EXPECT_EQ(M.find(1064), ~0u);
+  EXPECT_EQ(M.find(2031), B);
+  EXPECT_EQ(M.liveCount(), 2u);
+  EXPECT_EQ(M.erase(1000), A);
+  EXPECT_EQ(M.find(1000), ~0u);
+  EXPECT_EQ(M.totalAllocated(), 2u); // Records persist after free.
+}
+
+TEST(LiveObjectMap, SequenceNumbersMonotonic) {
+  LiveObjectMap M;
+  ObjectId A = M.insert(1000, 8, 0, 0);
+  ObjectId B = M.insert(2000, 8, 0, 0);
+  EXPECT_LT(M.record(A).AllocSeq, M.record(B).AllocSeq);
+}
+
+TEST(LiveObjectMap, ZeroSizeObjectOccupiesOneByte) {
+  LiveObjectMap M;
+  ObjectId A = M.insert(1000, 0, 0, 0);
+  EXPECT_EQ(M.find(1000), A);
+  EXPECT_EQ(M.find(1001), ~0u);
+}
+
+TEST(Profiler, BuildsEdgeBetweenInterleavedContexts) {
+  ProfilerHarness H;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+
+  // Allocate A/B pairs, then access them pairwise.
+  std::vector<std::pair<uint64_t, uint64_t>> Pairs;
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    for (int I = 0; I < 50; ++I) {
+      uint64_t A = RT.malloc(16, H.SiteA);
+      uint64_t B = RT.malloc(16, H.SiteB);
+      Pairs.emplace_back(A, B);
+    }
+  }
+  for (auto [A, B] : Pairs) {
+    RT.load(A, 16);
+    RT.load(B, 16);
+  }
+
+  AffinityGraph G = Prof.takeGraph();
+  // Contexts: A-context and B-context, with a strong edge between them.
+  EXPECT_EQ(G.numNodes(), 2u);
+  std::vector<GraphNodeId> N = G.nodes();
+  EXPECT_GT(G.edgeWeight(N[0], N[1]), 40u);
+}
+
+TEST(Profiler, ContextsDistinguishedByCallPath) {
+  ProfilerHarness H;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+
+  uint64_t A1;
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    A1 = RT.malloc(16, H.SiteA);
+  }
+  uint64_t C = RT.malloc(16, H.SiteC);
+  RT.load(A1, 16);
+  RT.load(C, 16);
+  Prof.takeGraph();
+  EXPECT_EQ(Prof.contexts().size(), 2u);
+  // One context chains through main>f, the other does not.
+  bool SawDeep = false, SawShallow = false;
+  for (ContextId Id = 0; Id < Prof.contexts().size(); ++Id) {
+    const ContextInfo &Info = Prof.contexts().info(Id);
+    if (Info.chainContains(H.MainToF))
+      SawDeep = true;
+    else
+      SawShallow = true;
+  }
+  EXPECT_TRUE(SawDeep);
+  EXPECT_TRUE(SawShallow);
+}
+
+TEST(Profiler, SelfEdgeFromSameContextNeighbours) {
+  ProfilerHarness H;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+
+  std::vector<uint64_t> Objs;
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    for (int I = 0; I < 20; ++I)
+      Objs.push_back(RT.malloc(16, H.SiteA));
+  }
+  for (uint64_t O : Objs)
+    RT.load(O, 16);
+  AffinityGraph G = Prof.takeGraph();
+  std::vector<GraphNodeId> N = G.nodes();
+  ASSERT_EQ(N.size(), 1u);
+  EXPECT_GT(G.edgeWeight(N[0], N[0]), 0u); // Loop edge.
+}
+
+TEST(Profiler, CoAllocatabilityBlocksInterveningAllocations) {
+  // u and v from contexts X and Y, but an allocation from X happens
+  // chronologically between them: the pair must NOT contribute.
+  ProfilerHarness H;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+
+  uint64_t U, Mid, V;
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    U = RT.malloc(16, H.SiteA);   // Context X, seq 0.
+    Mid = RT.malloc(16, H.SiteA); // Context X, seq 1 -- intervenes.
+    V = RT.malloc(16, H.SiteB);   // Context Y, seq 2.
+  }
+  RT.load(U, 16);
+  RT.load(V, 16);
+  (void)Mid;
+  AffinityGraph G = Prof.takeGraph();
+  std::vector<GraphNodeId> N = G.nodes();
+  ASSERT_EQ(N.size(), 2u);
+  EXPECT_EQ(G.edgeWeight(N[0], N[1]), 0u);
+}
+
+TEST(Profiler, CoAllocatabilityAllowsAdjacentAllocations) {
+  ProfilerHarness H;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+
+  uint64_t U, V;
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    U = RT.malloc(16, H.SiteA);
+    V = RT.malloc(16, H.SiteB);
+  }
+  RT.load(U, 16);
+  RT.load(V, 16);
+  AffinityGraph G = Prof.takeGraph();
+  std::vector<GraphNodeId> N = G.nodes();
+  ASSERT_EQ(N.size(), 2u);
+  EXPECT_EQ(G.edgeWeight(N[0], N[1]), 1u);
+}
+
+TEST(Profiler, CoAllocatabilityCanBeDisabled) {
+  ProfilerHarness H;
+  H.Options.CoAllocatability = false;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+
+  uint64_t U, Mid, V;
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    U = RT.malloc(16, H.SiteA);
+    Mid = RT.malloc(16, H.SiteA);
+    V = RT.malloc(16, H.SiteB);
+  }
+  RT.load(U, 16);
+  RT.load(V, 16);
+  (void)Mid;
+  AffinityGraph G = Prof.takeGraph();
+  std::vector<GraphNodeId> N = G.nodes();
+  EXPECT_EQ(G.edgeWeight(N[0], N[1]), 1u);
+}
+
+TEST(Profiler, LargeObjectsExcludedFromAffinity) {
+  ProfilerHarness H;
+  H.Options.MaxObjectSize = 64;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+
+  uint64_t Big, Small;
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    Big = RT.malloc(128, H.SiteA);
+    Small = RT.malloc(16, H.SiteB);
+  }
+  RT.load(Big, 64);
+  RT.load(Small, 16);
+  AffinityGraph G = Prof.takeGraph();
+  // Only the small object's context accumulates accesses.
+  EXPECT_EQ(G.totalAccesses(), 1u);
+}
+
+TEST(Profiler, StackAccessesIgnored) {
+  ProfilerHarness H;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+  RT.load(0xdead0000, 8); // Never allocated: not heap traffic.
+  AffinityGraph G = Prof.takeGraph();
+  EXPECT_EQ(G.numNodes(), 0u);
+  EXPECT_EQ(Prof.totalAccesses(), 0u);
+}
+
+TEST(Profiler, ReferenceTraceDeduplicatesConsecutive) {
+  ProfilerHarness H;
+  H.Options.RecordReferenceTrace = true;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+
+  uint64_t A, B;
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    A = RT.malloc(16, H.SiteA);
+    B = RT.malloc(16, H.SiteB);
+  }
+  RT.load(A, 8);
+  RT.load(A, 8);
+  RT.load(B, 8);
+  RT.load(A, 8);
+  EXPECT_EQ(Prof.referenceTrace().size(), 3u); // A, B, A.
+}
+
+TEST(Profiler, FreedObjectAccessesIgnored) {
+  ProfilerHarness H;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+  uint64_t A;
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    A = RT.malloc(16, H.SiteA);
+  }
+  RT.load(A, 8);
+  RT.free(A);
+  EXPECT_EQ(Prof.totalAccesses(), 1u);
+}
+
+TEST(Profiler, AllocationCountsPerContext) {
+  ProfilerHarness H;
+  HeapProfiler Prof(H.P, H.Options);
+  Runtime RT(H.P, H.Alloc);
+  RT.addObserver(&Prof);
+  {
+    Runtime::Scope S(RT, H.MainToF);
+    for (int I = 0; I < 5; ++I)
+      RT.malloc(16, H.SiteA);
+  }
+  Prof.takeGraph();
+  ASSERT_EQ(Prof.contexts().size(), 1u);
+  EXPECT_EQ(Prof.contexts().info(0).Allocations, 5u);
+}

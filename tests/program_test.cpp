@@ -1,0 +1,104 @@
+//===- tests/program_test.cpp - Program / state vector / plan tests ----------===//
+
+#include "prog/GroupStateVector.h"
+#include "prog/Instrumentation.h"
+#include "prog/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+TEST(Program, BuiltinMallocIsTraceableExternal) {
+  Program P;
+  const FunctionInfo &M = P.function(P.mallocFunction());
+  EXPECT_EQ(M.Name, "malloc");
+  EXPECT_TRUE(M.IsExternal);
+  EXPECT_TRUE(M.IsTraceable);
+}
+
+TEST(Program, AddFunctionAndCallSite) {
+  Program P;
+  FunctionId F = P.addFunction("foo");
+  FunctionId G = P.addFunction("bar");
+  CallSiteId S = P.addCallSite(F, G, "foo>bar");
+  EXPECT_EQ(P.callSite(S).Caller, F);
+  EXPECT_EQ(P.callSite(S).Callee, G);
+  EXPECT_EQ(P.callSite(S).Label, "foo>bar");
+  EXPECT_FALSE(P.function(F).IsExternal);
+}
+
+TEST(Program, MallocSitesIdentified) {
+  Program P;
+  FunctionId F = P.addFunction("foo");
+  FunctionId G = P.addFunction("bar");
+  CallSiteId M = P.addMallocSite(F, "foo>malloc");
+  CallSiteId S = P.addCallSite(F, G, "foo>bar");
+  EXPECT_TRUE(P.isMallocSite(M));
+  EXPECT_FALSE(P.isMallocSite(S));
+}
+
+TEST(StateVector, SetUnsetTest) {
+  GroupStateVector V(130);
+  EXPECT_FALSE(V.test(0));
+  V.set(0);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(64));
+  V.unset(129);
+  EXPECT_FALSE(V.test(129));
+}
+
+TEST(StateVector, ContainsAllMasks) {
+  GroupStateVector V(8);
+  V.set(1);
+  V.set(3);
+  EXPECT_TRUE(V.containsAll({0b1010}));
+  EXPECT_FALSE(V.containsAll({0b1110}));
+  EXPECT_TRUE(V.containsAll({0b0000})); // Empty mask always matches.
+}
+
+TEST(StateVector, ShorterMaskAllowed) {
+  GroupStateVector V(100);
+  V.set(2);
+  EXPECT_TRUE(V.containsAll({0b100}));
+}
+
+TEST(StateVector, ClearResetsBits) {
+  GroupStateVector V(16);
+  V.set(5);
+  V.clear();
+  EXPECT_FALSE(V.test(5));
+}
+
+TEST(InstrumentationPlan, AssignsBitsInOrder) {
+  Program P;
+  FunctionId F = P.addFunction("f");
+  CallSiteId A = P.addMallocSite(F, "a");
+  CallSiteId B = P.addMallocSite(F, "b");
+  CallSiteId C = P.addMallocSite(F, "c");
+  InstrumentationPlan Plan(P, {B, C});
+  EXPECT_EQ(Plan.bitFor(B), 0);
+  EXPECT_EQ(Plan.bitFor(C), 1);
+  EXPECT_EQ(Plan.bitFor(A), -1);
+  EXPECT_EQ(Plan.numBits(), 2u);
+  EXPECT_EQ(Plan.numInstrumentedSites(), 2u);
+}
+
+TEST(InstrumentationPlan, DuplicateSitesShareBit) {
+  Program P;
+  FunctionId F = P.addFunction("f");
+  CallSiteId A = P.addMallocSite(F, "a");
+  InstrumentationPlan Plan(P, {A, A, A});
+  EXPECT_EQ(Plan.numBits(), 1u);
+  EXPECT_EQ(Plan.bitFor(A), 0);
+}
+
+TEST(InstrumentationPlan, EmptyPlanInstrumentsNothing) {
+  Program P;
+  FunctionId F = P.addFunction("f");
+  CallSiteId A = P.addMallocSite(F, "a");
+  InstrumentationPlan Plan;
+  EXPECT_EQ(Plan.bitFor(A), -1);
+  EXPECT_EQ(Plan.numBits(), 0u);
+}

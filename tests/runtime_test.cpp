@@ -1,0 +1,201 @@
+//===- tests/runtime_test.cpp - Runtime behaviour tests -----------------------===//
+
+#include "mem/SizeClassAllocator.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+struct RuntimeTest : ::testing::Test {
+  Program P;
+  FunctionId Main, F, G;
+  CallSiteId MainToF, FToG, FMalloc;
+  SizeClassAllocator Alloc;
+
+  RuntimeTest() {
+    Main = P.addFunction("main");
+    F = P.addFunction("f");
+    G = P.addFunction("g");
+    MainToF = P.addCallSite(Main, F, "main>f");
+    FToG = P.addCallSite(F, G, "f>g");
+    FMalloc = P.addMallocSite(F, "f>malloc");
+  }
+};
+
+/// Observer that records the event stream as strings.
+class RecordingObserver : public RuntimeObserver {
+public:
+  std::vector<std::string> Log;
+  void onCall(CallSiteId S) override {
+    Log.push_back("call:" + std::to_string(S));
+  }
+  void onReturn(CallSiteId S) override {
+    Log.push_back("ret:" + std::to_string(S));
+  }
+  void onAlloc(uint64_t, uint64_t Size, CallSiteId) override {
+    Log.push_back("alloc:" + std::to_string(Size));
+  }
+  void onFree(uint64_t) override { Log.push_back("free"); }
+  void onAccess(uint64_t, uint64_t Size, bool IsStore) override {
+    Log.push_back((IsStore ? "st:" : "ld:") + std::to_string(Size));
+  }
+};
+
+} // namespace
+
+TEST_F(RuntimeTest, ScopeEntersAndLeaves) {
+  Runtime RT(P, Alloc);
+  EXPECT_EQ(RT.callDepth(), 0u);
+  {
+    Runtime::Scope S(RT, MainToF);
+    EXPECT_EQ(RT.callDepth(), 1u);
+    EXPECT_EQ(RT.currentSite(), MainToF);
+  }
+  EXPECT_EQ(RT.callDepth(), 0u);
+  EXPECT_EQ(RT.currentSite(), InvalidId);
+}
+
+TEST_F(RuntimeTest, ObserverSeesWholeEventStream) {
+  Runtime RT(P, Alloc);
+  RecordingObserver Obs;
+  RT.addObserver(&Obs);
+  {
+    Runtime::Scope S(RT, MainToF);
+    uint64_t A = RT.malloc(24, FMalloc);
+    RT.store(A, 8);
+    RT.load(A, 8);
+    RT.free(A);
+  }
+  std::vector<std::string> Expected = {
+      "call:" + std::to_string(MainToF), "alloc:24", "st:8", "ld:8", "free",
+      "ret:" + std::to_string(MainToF)};
+  EXPECT_EQ(Obs.Log, Expected);
+}
+
+TEST_F(RuntimeTest, InstrumentationSetsAndClearsBits) {
+  Runtime RT(P, Alloc);
+  InstrumentationPlan Plan(P, {MainToF, FToG});
+  RT.setInstrumentation(&Plan);
+  EXPECT_FALSE(RT.groupState().test(0));
+  {
+    Runtime::Scope S(RT, MainToF);
+    EXPECT_TRUE(RT.groupState().test(0));
+    EXPECT_FALSE(RT.groupState().test(1));
+    {
+      Runtime::Scope T(RT, FToG);
+      EXPECT_TRUE(RT.groupState().test(1));
+    }
+    EXPECT_FALSE(RT.groupState().test(1));
+  }
+  EXPECT_FALSE(RT.groupState().test(0));
+  // Two sites crossed, each set+unset once.
+  EXPECT_EQ(RT.timing().instrumentationOps(), 4u);
+}
+
+TEST_F(RuntimeTest, UninstrumentedSitesCostNothing) {
+  Runtime RT(P, Alloc);
+  InstrumentationPlan Plan(P, {FToG});
+  RT.setInstrumentation(&Plan);
+  {
+    Runtime::Scope S(RT, MainToF);
+  }
+  EXPECT_EQ(RT.timing().instrumentationOps(), 0u);
+}
+
+TEST_F(RuntimeTest, NaiveBitClearUnderRecursion) {
+  // The paper's straight-line set/unset: the inner return clears the bit
+  // even though an outer activation is still live.
+  Runtime RT(P, Alloc);
+  CallSiteId FToF = P.addCallSite(F, F, "f>f");
+  InstrumentationPlan Plan(P, {FToF});
+  RT.setInstrumentation(&Plan);
+  RT.enter(FToF);
+  RT.enter(FToF);
+  EXPECT_TRUE(RT.groupState().test(0));
+  RT.leave();
+  EXPECT_FALSE(RT.groupState().test(0)); // Cleared by the inner return.
+  RT.leave();
+}
+
+TEST_F(RuntimeTest, MallocRoutesThroughAllocator) {
+  Runtime RT(P, Alloc);
+  uint64_t A = RT.malloc(100, FMalloc);
+  EXPECT_TRUE(Alloc.owns(A));
+  RT.free(A);
+  EXPECT_FALSE(Alloc.owns(A));
+  EXPECT_EQ(RT.stats().Allocs, 1u);
+  EXPECT_EQ(RT.stats().Frees, 1u);
+}
+
+TEST_F(RuntimeTest, FreeNullIsNoOp) {
+  Runtime RT(P, Alloc);
+  RT.free(0);
+  EXPECT_EQ(RT.stats().Frees, 0u);
+}
+
+TEST_F(RuntimeTest, CallocZeroesSmallRequests) {
+  Runtime RT(P, Alloc);
+  RecordingObserver Obs;
+  RT.addObserver(&Obs);
+  RT.calloc(4, 8, FMalloc);
+  ASSERT_EQ(Obs.Log.size(), 2u);
+  EXPECT_EQ(Obs.Log[0], "alloc:32");
+  EXPECT_EQ(Obs.Log[1], "st:32");
+}
+
+TEST_F(RuntimeTest, CallocPageScaleSkipsStores) {
+  Runtime RT(P, Alloc);
+  RecordingObserver Obs;
+  RT.addObserver(&Obs);
+  RT.calloc(1, 8192, FMalloc);
+  ASSERT_EQ(Obs.Log.size(), 1u); // Fresh zero pages, no memset traffic.
+}
+
+TEST_F(RuntimeTest, ReallocCopiesAndFrees) {
+  Runtime RT(P, Alloc);
+  uint64_t A = RT.malloc(64, FMalloc);
+  uint64_t B = RT.realloc(A, 128, FMalloc);
+  EXPECT_NE(A, B);
+  EXPECT_FALSE(Alloc.owns(A));
+  EXPECT_TRUE(Alloc.owns(B));
+  // 64 bytes copied in one 64B stride: one load + one store.
+  EXPECT_EQ(RT.stats().Loads, 1u);
+  EXPECT_EQ(RT.stats().Stores, 1u);
+}
+
+TEST_F(RuntimeTest, ReallocOfNullIsMalloc) {
+  Runtime RT(P, Alloc);
+  uint64_t A = RT.realloc(0, 64, FMalloc);
+  EXPECT_TRUE(Alloc.owns(A));
+  EXPECT_EQ(RT.stats().Loads, 0u);
+}
+
+TEST_F(RuntimeTest, MemoryHierarchyDrivenByAccesses) {
+  Runtime RT(P, Alloc);
+  MemoryHierarchy Mem;
+  RT.setMemory(&Mem);
+  uint64_t A = RT.malloc(64, FMalloc);
+  RT.load(A, 8);
+  EXPECT_EQ(Mem.counters().Accesses, 1u);
+  EXPECT_GT(RT.timing().memoryCycles(), 0u);
+}
+
+TEST_F(RuntimeTest, SetAllocatorSwapsServing) {
+  Runtime RT(P, Alloc);
+  SizeClassAllocator Other(0x7700000000ull);
+  RT.setAllocator(Other);
+  uint64_t A = RT.malloc(32, FMalloc);
+  EXPECT_TRUE(Other.owns(A));
+  EXPECT_FALSE(Alloc.owns(A));
+}
+
+TEST_F(RuntimeTest, ComputeAccumulates) {
+  Runtime RT(P, Alloc);
+  RT.compute(123);
+  EXPECT_EQ(RT.timing().computeCycles(), 123u);
+}

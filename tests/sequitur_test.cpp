@@ -1,0 +1,168 @@
+//===- tests/sequitur_test.cpp - SEQUITUR grammar inference -------------------===//
+
+#include "hds/Sequitur.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace halo;
+
+namespace {
+
+/// Feeds a string (one terminal per char) and extracts the rules.
+std::vector<Sequitur::ExtractedRule> infer(const std::string &Input) {
+  Sequitur S;
+  for (char C : Input)
+    S.append(static_cast<uint32_t>(C));
+  return S.extractRules();
+}
+
+/// Fully expands the start rule.
+std::string expandAll(const std::vector<Sequitur::ExtractedRule> &Rules) {
+  std::vector<uint32_t> Terminals =
+      Sequitur::expandRule(Rules, 0, 1 << 20);
+  std::string Out;
+  for (uint32_t T : Terminals)
+    Out.push_back(static_cast<char>(T));
+  return Out;
+}
+
+/// Checks the digram-uniqueness invariant over the extracted grammar: no
+/// adjacent symbol pair occurs twice, except for *overlapping* occurrences
+/// (e.g. X X X), which SEQUITUR deliberately leaves alone.
+void expectDigramUniqueness(const std::vector<Sequitur::ExtractedRule> &Rules) {
+  std::map<std::pair<uint64_t, uint64_t>, std::pair<size_t, size_t>> Last;
+  for (size_t RI = 0; RI < Rules.size(); ++RI) {
+    const Sequitur::ExtractedRule &R = Rules[RI];
+    for (size_t I = 0; I + 1 < R.Body.size(); ++I) {
+      uint64_t A = (uint64_t(R.Body[I].IsRule) << 32) | R.Body[I].Value;
+      uint64_t B =
+          (uint64_t(R.Body[I + 1].IsRule) << 32) | R.Body[I + 1].Value;
+      auto [It, New] = Last.emplace(std::make_pair(A, B),
+                                    std::make_pair(RI, I));
+      if (!New) {
+        auto [PrevRule, PrevPos] = It->second;
+        bool Overlapping = PrevRule == RI && I == PrevPos + 1;
+        EXPECT_TRUE(Overlapping)
+            << "repeated non-overlapping digram in rule " << RI;
+        It->second = {RI, I};
+      }
+    }
+  }
+}
+
+} // namespace
+
+TEST(Sequitur, RoundTripsShortStrings) {
+  for (const std::string In :
+       {"a", "ab", "abab", "abcabc", "aaaa", "abcdbc", "mississippi"}) {
+    auto Rules = infer(In);
+    EXPECT_EQ(expandAll(Rules), In) << "input: " << In;
+  }
+}
+
+TEST(Sequitur, AbabCreatesOneRule) {
+  auto Rules = infer("abab");
+  // Start rule = R1 R1, R1 = ab.
+  ASSERT_EQ(Rules.size(), 2u);
+  EXPECT_EQ(Rules[0].Body.size(), 2u);
+  EXPECT_TRUE(Rules[0].Body[0].IsRule);
+  EXPECT_EQ(Rules[1].Body.size(), 2u);
+  EXPECT_FALSE(Rules[1].Body[0].IsRule);
+}
+
+TEST(Sequitur, RuleUtilityInlinesSingleUseRules) {
+  // The classic example: abcdbcabcdbc creates nested rules, and every
+  // surviving rule is used at least twice.
+  auto Rules = infer("abcdbcabcdbc");
+  EXPECT_EQ(expandAll(Rules), "abcdbcabcdbc");
+  // Count rule references.
+  std::map<uint32_t, int> Uses;
+  for (const auto &R : Rules)
+    for (const auto &B : R.Body)
+      if (B.IsRule)
+        ++Uses[B.Value];
+  for (const auto &[Rule, Count] : Uses)
+    EXPECT_GE(Count, 2) << "rule " << Rule << " used once";
+}
+
+TEST(Sequitur, DigramUniquenessHolds) {
+  expectDigramUniqueness(infer("abcdbcabcdbcaaaabbbb"));
+  expectDigramUniqueness(infer("xyxyxyxyxy"));
+  expectDigramUniqueness(infer("aabbaabbaabb"));
+}
+
+TEST(Sequitur, FrequenciesPropagate) {
+  // "ababab": S = R R R (or similar); R = ab occurs three times.
+  auto Rules = infer("ababab");
+  bool FoundAb = false;
+  for (uint32_t R = 1; R < Rules.size(); ++R) {
+    auto Expansion = Sequitur::expandRule(Rules, R, 10);
+    if (Expansion == std::vector<uint32_t>{'a', 'b'}) {
+      FoundAb = true;
+      EXPECT_EQ(Rules[R].Frequency, 3u);
+      EXPECT_EQ(Rules[R].ExpansionLength, 2u);
+    }
+  }
+  EXPECT_TRUE(FoundAb);
+}
+
+TEST(Sequitur, NestedRuleFrequencies) {
+  // "abcabcabcabc": rule(abc) appears 4 times, possibly nested under
+  // rule(abcabc) appearing twice.
+  auto Rules = infer("abcabcabcabc");
+  for (uint32_t R = 1; R < Rules.size(); ++R) {
+    auto Expansion = Sequitur::expandRule(Rules, R, 16);
+    if (Expansion == std::vector<uint32_t>{'a', 'b', 'c'}) {
+      EXPECT_EQ(Rules[R].Frequency, 4u);
+    }
+    if (Expansion.size() == 6) {
+      EXPECT_EQ(Rules[R].Frequency, 2u);
+    }
+  }
+}
+
+TEST(Sequitur, ExpansionLengthSaturatesAtCap) {
+  auto Rules = infer("abcabcabcabc");
+  auto Capped = Sequitur::expandRule(Rules, 0, 5);
+  EXPECT_EQ(Capped.size(), 5u);
+  EXPECT_EQ(Capped, (std::vector<uint32_t>{'a', 'b', 'c', 'a', 'b'}));
+}
+
+TEST(Sequitur, StartRuleFrequencyIsOne) {
+  auto Rules = infer("abcabc");
+  EXPECT_EQ(Rules[0].Frequency, 1u);
+  EXPECT_EQ(Rules[0].ExpansionLength, 6u);
+}
+
+TEST(Sequitur, LongRandomishInputRoundTrips) {
+  std::string In;
+  uint64_t X = 12345;
+  for (int I = 0; I < 5000; ++I) {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    In.push_back('a' + (X >> 60) % 4);
+  }
+  auto Rules = infer(In);
+  EXPECT_EQ(expandAll(Rules), In);
+  expectDigramUniqueness(Rules);
+  // Compression actually happened.
+  EXPECT_LT(Rules[0].Body.size(), In.size());
+}
+
+TEST(Sequitur, RepetitiveInputCompressesHard) {
+  std::string In;
+  for (int I = 0; I < 256; ++I)
+    In += "abcd";
+  auto Rules = infer(In);
+  EXPECT_EQ(expandAll(Rules), In);
+  // The grammar for (abcd)^256 is logarithmic in the input.
+  EXPECT_LE(Rules.size(), 12u);
+}
+
+TEST(Sequitur, NumRulesMatchesExtraction) {
+  Sequitur S;
+  for (char C : std::string("abcdbcabcdbc"))
+    S.append(C);
+  EXPECT_EQ(S.numRules(), S.extractRules().size());
+}

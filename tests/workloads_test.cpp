@@ -1,0 +1,135 @@
+//===- tests/workloads_test.cpp - Benchmark model sanity ----------------------===//
+
+#include "mem/SizeClassAllocator.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+namespace {
+
+/// Parameterised over all eleven benchmark models.
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(WorkloadTest, BuildsAndRunsAtTestScale) {
+  auto W = createWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->name(), GetParam());
+  Program P;
+  W->build(P);
+  EXPECT_GT(P.numCallSites(), 0u);
+  SizeClassAllocator Alloc;
+  Runtime RT(P, Alloc);
+  W->run(RT, Scale::Test, 1);
+  EXPECT_GT(RT.stats().Allocs, 100u);
+  EXPECT_GT(RT.stats().Loads, 1000u);
+}
+
+TEST_P(WorkloadTest, FreesEverythingItAllocates) {
+  auto W = createWorkload(GetParam());
+  Program P;
+  W->build(P);
+  SizeClassAllocator Alloc;
+  Runtime RT(P, Alloc);
+  W->run(RT, Scale::Test, 1);
+  EXPECT_EQ(RT.stats().Allocs, RT.stats().Frees);
+  EXPECT_EQ(Alloc.liveBytes(), 0u);
+}
+
+TEST_P(WorkloadTest, BalancedCallStack) {
+  auto W = createWorkload(GetParam());
+  Program P;
+  W->build(P);
+  SizeClassAllocator Alloc;
+  Runtime RT(P, Alloc);
+  W->run(RT, Scale::Test, 1);
+  EXPECT_EQ(RT.callDepth(), 0u);
+}
+
+TEST_P(WorkloadTest, DeterministicForSeed) {
+  auto W = createWorkload(GetParam());
+  Program P;
+  W->build(P);
+  RuntimeStats First;
+  {
+    SizeClassAllocator Alloc;
+    Runtime RT(P, Alloc);
+    W->run(RT, Scale::Test, 7);
+    First = RT.stats();
+  }
+  SizeClassAllocator Alloc;
+  Runtime RT(P, Alloc);
+  W->run(RT, Scale::Test, 7);
+  EXPECT_EQ(RT.stats().Allocs, First.Allocs);
+  EXPECT_EQ(RT.stats().Loads, First.Loads);
+  EXPECT_EQ(RT.stats().Stores, First.Stores);
+}
+
+TEST_P(WorkloadTest, SeedVariesBehaviour) {
+  auto W = createWorkload(GetParam());
+  Program P;
+  W->build(P);
+  RuntimeStats First;
+  {
+    SizeClassAllocator Alloc;
+    Runtime RT(P, Alloc);
+    W->run(RT, Scale::Test, 1);
+    First = RT.stats();
+  }
+  SizeClassAllocator Alloc;
+  Runtime RT(P, Alloc);
+  W->run(RT, Scale::Test, 2);
+  // Different seeds shift at least some event counts for every model that
+  // uses randomness; allow equality of any single counter but not all.
+  bool AllEqual = RT.stats().Allocs == First.Allocs &&
+                  RT.stats().Loads == First.Loads &&
+                  RT.stats().Stores == First.Stores;
+  // leela's structure is seed-independent except for rare TT entries; give
+  // a pass to exact matches there.
+  if (GetParam() != "leela") {
+    EXPECT_FALSE(AllEqual);
+  }
+}
+
+TEST_P(WorkloadTest, RefScaleIsBigger) {
+  auto W = createWorkload(GetParam());
+  Program P;
+  W->build(P);
+  uint64_t TestAllocs;
+  {
+    SizeClassAllocator Alloc;
+    Runtime RT(P, Alloc);
+    W->run(RT, Scale::Test, 1);
+    TestAllocs = RT.stats().Allocs;
+  }
+  SizeClassAllocator Alloc;
+  Runtime RT(P, Alloc);
+  W->run(RT, Scale::Ref, 1);
+  EXPECT_GT(RT.stats().Allocs, 2 * TestAllocs);
+}
+
+TEST_P(WorkloadTest, RerunnableOnOneInstance) {
+  auto W = createWorkload(GetParam());
+  Program P;
+  W->build(P);
+  SizeClassAllocator A1, A2(0x7500000000ull);
+  Runtime R1(P, A1), R2(P, A2);
+  W->run(R1, Scale::Test, 3);
+  W->run(R2, Scale::Test, 3);
+  EXPECT_EQ(R1.stats().Allocs, R2.stats().Allocs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(WorkloadRegistry, ElevenBenchmarks) {
+  EXPECT_EQ(workloadNames().size(), 11u);
+}
+
+TEST(WorkloadRegistry, UnknownNameReturnsNull) {
+  EXPECT_EQ(createWorkload("nosuch"), nullptr);
+}
