@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the pipeline scale bench (and any future machine-readable benches)
+# and writes BENCH_pipeline.json at the repo root in the stable schema
+#   {"bench", "nodes", "edges", "wall_ms", "trials"}
+# so successive PRs can track the perf trajectory.
+#
+# Usage: bench/run_benches.sh [build-dir]   (default: build)
+# HALO_BENCH_TRIALS overrides the per-config trial count.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${BUILD_DIR:-build}}"
+case "$BUILD" in
+  /*) ;;                 # Absolute build dir: use as-is.
+  *) BUILD="$ROOT/$BUILD" ;;
+esac
+BIN="$BUILD/bench/bench_grouping_scale"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built; run: cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+"$BIN" "$ROOT/BENCH_pipeline.json"
+echo "BENCH_pipeline.json updated:"
+cat "$ROOT/BENCH_pipeline.json"

@@ -2,6 +2,8 @@
 
 #include "core/GroupAllocator.h"
 
+#include "support/Bits.h"
+
 #include <cassert>
 
 using namespace halo;
@@ -29,7 +31,6 @@ int32_t SiteGroupPolicy::selectGroup(const AllocRequest &Request) const {
   return It == SiteToGroup.end() ? -1 : static_cast<int32_t>(It->second);
 }
 
-static bool isPowerOfTwo(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
 
 GroupAllocator::GroupAllocator(Allocator &Backing, const GroupPolicy &Policy,
                                const GroupAllocatorOptions &Options,

@@ -1,0 +1,140 @@
+//===- graph/Adjacency.cpp - Frozen CSR adjacency snapshot -----------------===//
+
+#include "graph/Adjacency.h"
+
+#include <algorithm>
+
+using namespace halo;
+
+uint32_t AdjacencySnapshot::denseOf(GraphNodeId Node) const {
+  auto It = std::lower_bound(Ids.begin(), Ids.end(), Node);
+  if (It == Ids.end() || *It != Node)
+    return InvalidDense;
+  return static_cast<uint32_t>(It - Ids.begin());
+}
+
+uint32_t
+AdjacencySnapshot::markMembers(const std::vector<GraphNodeId> &Nodes) const {
+  if (MemberEpoch.size() < Ids.size())
+    MemberEpoch.assign(Ids.size(), 0);
+  ++Epoch;
+  uint32_t Present = 0;
+  for (GraphNodeId Node : Nodes) {
+    uint32_t Dense = denseOf(Node);
+    if (Dense == InvalidDense)
+      continue;
+    MemberEpoch[Dense] = Epoch;
+    ++Present;
+  }
+  return Present;
+}
+
+uint64_t AdjacencySnapshot::subgraphWeight(
+    const std::vector<GraphNodeId> &Nodes) const {
+  markMembers(Nodes);
+  uint64_t Weight = 0;
+  for (GraphNodeId Node : Nodes) {
+    uint32_t Dense = denseOf(Node);
+    if (Dense == InvalidDense)
+      continue;
+    Weight += LoopWeights[Dense];
+    Span<uint32_t> Row = neighbors(Dense);
+    Span<uint64_t> RowWeights = neighborWeights(Dense);
+    for (size_t I = 0; I < Row.size(); ++I)
+      // Count each undirected member-member edge from its lower endpoint.
+      if (Row[I] > Dense && MemberEpoch[Row[I]] == Epoch)
+        Weight += RowWeights[I];
+  }
+  return Weight;
+}
+
+double AdjacencySnapshot::score(const std::vector<GraphNodeId> &Nodes) const {
+  markMembers(Nodes);
+  uint64_t WeightSum = 0;
+  uint64_t Loops = 0;
+  for (GraphNodeId Node : Nodes) {
+    uint32_t Dense = denseOf(Node);
+    if (Dense == InvalidDense)
+      continue;
+    uint64_t Loop = LoopWeights[Dense];
+    WeightSum += Loop;
+    if (Loop > 0)
+      ++Loops;
+    Span<uint32_t> Row = neighbors(Dense);
+    Span<uint64_t> RowWeights = neighborWeights(Dense);
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I] > Dense && MemberEpoch[Row[I]] == Epoch)
+        WeightSum += RowWeights[I];
+  }
+  // Like AffinityGraph::score, the pair denominator counts the requested
+  // node list (absent nodes contribute pairs of weight zero).
+  uint64_t Pairs = Nodes.size() * (Nodes.size() - 1) / 2;
+  return affinityScoreFrom(WeightSum, Loops, Pairs);
+}
+
+AdjacencySnapshot AffinityGraph::buildAdjacency() const {
+  AdjacencySnapshot Snap;
+  Snap.Total = TotalAccesses;
+
+  Snap.Ids.reserve(Accesses.size());
+  for (const auto &[Node, Count] : Accesses)
+    Snap.Ids.push_back(Node);
+  std::sort(Snap.Ids.begin(), Snap.Ids.end());
+
+  const uint32_t N = static_cast<uint32_t>(Snap.Ids.size());
+  Snap.NodeAccesses.resize(N);
+  Snap.LoopWeights.assign(N, 0);
+  for (uint32_t Dense = 0; Dense < N; ++Dense)
+    Snap.NodeAccesses[Dense] = Accesses.at(Snap.Ids[Dense]);
+
+  // First pass: loop weights and per-node non-loop degrees.
+  std::vector<uint32_t> Degree(N, 0);
+  Snap.EdgeCount = Edges.size();
+  for (const auto &[Key, Weight] : Edges) {
+    (void)Weight;
+    uint32_t U = Snap.denseOf(static_cast<GraphNodeId>(Key >> 32));
+    uint32_t V = Snap.denseOf(static_cast<GraphNodeId>(Key & 0xffffffff));
+    assert(U != AdjacencySnapshot::InvalidDense &&
+           V != AdjacencySnapshot::InvalidDense &&
+           "edge endpoint missing from node table");
+    if (U == V)
+      continue;
+    ++Degree[U];
+    ++Degree[V];
+  }
+
+  Snap.RowStart.resize(N + 1);
+  Snap.RowStart[0] = 0;
+  for (uint32_t Dense = 0; Dense < N; ++Dense)
+    Snap.RowStart[Dense + 1] = Snap.RowStart[Dense] + Degree[Dense];
+  Snap.NeighborDense.resize(Snap.RowStart[N]);
+  Snap.NeighborWeights.resize(Snap.RowStart[N]);
+
+  // Second pass: fill rows in ascending (U, V) edge order so each row ends
+  // up sorted by dense neighbour index without a per-row sort.
+  std::vector<AffinityGraph::Edge> Sorted = edges();
+  std::vector<uint32_t> Fill(Snap.RowStart.begin(), Snap.RowStart.end() - 1);
+  for (const AffinityGraph::Edge &E : Sorted) {
+    uint32_t U = Snap.denseOf(E.U);
+    uint32_t V = Snap.denseOf(E.V);
+    if (U == V) {
+      Snap.LoopWeights[U] = E.Weight;
+      continue;
+    }
+    Snap.NeighborDense[Fill[U]] = V;
+    Snap.NeighborWeights[Fill[U]++] = E.Weight;
+    Snap.NeighborDense[Fill[V]] = U;
+    Snap.NeighborWeights[Fill[V]++] = E.Weight;
+  }
+
+  Snap.DegreeOrder.resize(N);
+  for (uint32_t Dense = 0; Dense < N; ++Dense)
+    Snap.DegreeOrder[Dense] = Dense;
+  std::sort(Snap.DegreeOrder.begin(), Snap.DegreeOrder.end(),
+            [&](uint32_t A, uint32_t B) {
+              if (Degree[A] != Degree[B])
+                return Degree[A] > Degree[B];
+              return A < B;
+            });
+  return Snap;
+}

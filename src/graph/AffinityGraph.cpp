@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 using namespace halo;
 
@@ -130,10 +131,7 @@ double AffinityGraph::score(const std::vector<GraphNodeId> &Nodes) const {
       WeightSum += edgeWeight(Nodes[I], Nodes[J]);
   }
   uint64_t Pairs = Nodes.size() * (Nodes.size() - 1) / 2;
-  uint64_t Denominator = Loops + Pairs;
-  if (Denominator == 0)
-    return 0.0;
-  return static_cast<double>(WeightSum) / static_cast<double>(Denominator);
+  return affinityScoreFrom(WeightSum, Loops, Pairs);
 }
 
 std::string AffinityGraph::toDot(const std::vector<std::string> &LabelOf,
@@ -152,7 +150,7 @@ std::string AffinityGraph::toDot(const std::vector<std::string> &LabelOf,
                                               : "ctx" + std::to_string(Node);
     int Group = Node < GroupOf.size() ? GroupOf[Node] : -1;
     std::string Color =
-        Group < 0 ? "#d9d9d9" : Palette[Group % (sizeof(Palette) / 8)];
+        Group < 0 ? "#d9d9d9" : Palette[Group % std::size(Palette)];
     Writer.addNode(std::to_string(Node), Label, Color);
   }
   for (const Edge &E : edges()) {

@@ -24,9 +24,26 @@
 
 namespace halo {
 
+class AdjacencySnapshot;
+
 /// Nodes are identified by dense context ids (trace/Context.h assigns them);
 /// the graph itself only needs their numeric identity.
 using GraphNodeId = uint32_t;
+
+/// The Figure 7 score from a subgraph's aggregates:
+///   s(G) = WeightSum / (Loops + Pairs)
+/// with 0 for an empty denominator. The single definition is shared by
+/// AffinityGraph::score, AdjacencySnapshot::score, and both grouping
+/// implementations: the incremental buildGroups' bit-identical-output
+/// contract with buildGroupsReference depends on every path computing this
+/// division identically.
+inline double affinityScoreFrom(uint64_t WeightSum, uint64_t Loops,
+                                uint64_t Pairs) {
+  uint64_t Denominator = Loops + Pairs;
+  if (Denominator == 0)
+    return 0.0;
+  return static_cast<double>(WeightSum) / static_cast<double>(Denominator);
+}
 
 /// Pairwise affinity between allocation contexts. Undirected; loop edges
 /// (u == u) are allowed and arise when two distinct objects from the same
@@ -78,6 +95,13 @@ public:
   /// Sum of edge weights within the subgraph induced by \p Nodes (the group
   /// weight test in Fig. 6).
   uint64_t subgraphWeight(const std::vector<GraphNodeId> &Nodes) const;
+
+  /// Freezes the current graph into a CSR adjacency snapshot (see
+  /// graph/Adjacency.h): per-node neighbour/weight spans, loop weights, and
+  /// a degree-ordered permutation. The snapshot is an independent copy; it
+  /// is not invalidated by later mutation of this graph (but does not see
+  /// it either).
+  AdjacencySnapshot buildAdjacency() const;
 
   /// Renders the graph as DOT (Figure 9 style). \p LabelOf supplies node
   /// labels, \p GroupOf a group number per node (-1 = ungrouped, drawn

@@ -58,8 +58,22 @@ double mergeBenefit(const AffinityGraph &Graph,
 /// edge thresholding does not disturb the caller's graph). Groups are
 /// returned sorted by popularity (most accessed first), which is the order
 /// identification processes them in.
+///
+/// This is the incremental implementation: a one-time weight-sorted edge
+/// list with a forward-only availability sweep replaces the per-group edge
+/// rescan, and merge benefits are computed from running group aggregates
+/// plus each candidate's accumulated weight into the group (O(deg) via the
+/// CSR snapshot) instead of rescoring the union. Output is bit-identical
+/// to buildGroupsReference; bench/bench_grouping_scale measures the gap.
 std::vector<Group> buildGroups(const AffinityGraph &Graph,
                                const GroupingOptions &Options);
+
+/// The direct transliteration of Figure 6 (rescans all edges per group and
+/// rescores the whole union per merge candidate). Kept as the semantic
+/// reference: tests assert buildGroups produces identical output, and the
+/// scale bench reports the speedup against it.
+std::vector<Group> buildGroupsReference(const AffinityGraph &Graph,
+                                        const GroupingOptions &Options);
 
 /// Naive comparison clusterer for the ablation bench: connected components
 /// of the thresholded graph, split to MaxGroupMembers in id order. Roughly

@@ -2,11 +2,11 @@
 
 #include "mem/Arena.h"
 
+#include "support/Bits.h"
+
 #include <cassert>
 
 using namespace halo;
-
-static bool isPowerOfTwo(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
 
 VirtualArena::VirtualArena(uint64_t Base) : Next(Base) {
   assert(Base % PageSize == 0 && "arena base must be page aligned");

@@ -2,64 +2,13 @@
 
 #include "profile/AffinityQueue.h"
 
-#include <algorithm>
-#include <cassert>
-
 using namespace halo;
-
-AffinityQueue::AffinityQueue(uint64_t Distance, bool Dedup, bool NoDoubleCount)
-    : Distance(Distance), Dedup(Dedup), NoDoubleCount(NoDoubleCount) {
-  assert(Distance > 0 && "affinity distance must be positive");
-}
 
 const std::vector<AffinityQueue::Entry> &
 AffinityQueue::push(uint32_t Object, uint32_t Node, uint64_t AllocSeq,
                     uint64_t Bytes) {
   Candidates.clear();
-  if (Bytes == 0)
-    Bytes = 1;
-
-  // Deduplication: consecutive machine-level accesses to a single object
-  // are part of the same macro-level access and do not re-trigger
-  // traversal; the entry simply grows.
-  if (Dedup && !Window.empty() && Window.back().Object == Object) {
-    Window.back().Bytes += Bytes;
-    NextCum += Bytes;
-    LastMerged = true;
-    return Candidates;
-  }
-  LastMerged = false;
-
-  uint64_t NewStart = NextCum;
-  uint64_t NewEnd = NewStart + Bytes;
-
-  // The window covers the last A bytes worth of accesses, including the new
-  // access itself; an entry is affinitive while any of its bytes overlap
-  // that window. This reproduces Figure 5 exactly (ten 4-byte accesses,
-  // A = 32: the newest element is affinitive to the seven to its left) and
-  // accounts for merged macro accesses consuming window space.
-  if (NewEnd >= Distance) {
-    uint64_t Cutoff = NewEnd - Distance;
-    while (!Window.empty() &&
-           Window.front().CumStart + Window.front().Bytes <= Cutoff)
-      Window.pop_front();
-  }
-
-  // Traverse the queue to find affinitive partners for the new access.
-  SeenObjects.clear();
-  for (auto It = Window.rbegin(); It != Window.rend(); ++It) {
-    if (It->Object == Object)
-      continue; // No self-affinity at the object level.
-    if (NoDoubleCount) {
-      if (std::find(SeenObjects.begin(), SeenObjects.end(), It->Object) !=
-          SeenObjects.end())
-        continue;
-      SeenObjects.push_back(It->Object);
-    }
-    Candidates.push_back(*It);
-  }
-
-  Window.push_back(Entry{Object, Node, AllocSeq, Bytes, NewStart});
-  NextCum = NewEnd;
+  access(Object, Node, AllocSeq, Bytes,
+         [this](const Entry &Partner) { Candidates.push_back(Partner); });
   return Candidates;
 }

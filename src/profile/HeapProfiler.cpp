@@ -62,21 +62,20 @@ void HeapProfiler::onAccess(uint64_t Addr, uint64_t Size, bool) {
   if (Rec.Size > Options.MaxObjectSize)
     return;
 
-  const std::vector<AffinityQueue::Entry> &Partners =
-      Queue.push(Obj, Rec.Ctx, Rec.AllocSeq, Size);
-  // A merged (deduplicated) access extends the previous macro access and
+  // Visit partners straight off the window (no candidate vector copy). A
+  // merged (deduplicated) access extends the previous macro access and
   // contributes nothing further.
-  if (Queue.lastPushMerged())
+  AffinityQueue::Entry New{Obj, Rec.Ctx, Rec.AllocSeq, Size, 0};
+  bool NewAccess = Queue.access(
+      Obj, Rec.Ctx, Rec.AllocSeq, Size, [&](const AffinityQueue::Entry &Old) {
+        if (Options.CoAllocatability && !coAllocatable(New, Old, Rec.Ctx))
+          return;
+        Graph.addEdgeWeight(Rec.Ctx, Old.Node);
+      });
+  if (!NewAccess)
     return;
   ++MacroAccesses;
   Graph.addAccesses(Rec.Ctx);
-
-  AffinityQueue::Entry New{Obj, Rec.Ctx, Rec.AllocSeq, Size, 0};
-  for (const AffinityQueue::Entry &Old : Partners) {
-    if (Options.CoAllocatability && !coAllocatable(New, Old, Rec.Ctx))
-      continue;
-    Graph.addEdgeWeight(Rec.Ctx, Old.Node);
-  }
 }
 
 AffinityGraph HeapProfiler::takeGraph() {

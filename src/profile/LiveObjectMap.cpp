@@ -18,17 +18,26 @@ ObjectId LiveObjectMap::erase(uint64_t Addr) {
   auto It = ByAddr.find(Addr);
   assert(It != ByAddr.end() && "freeing unknown object");
   ObjectId Id = It->second;
+  if (Id == LastFound)
+    LastFound = ~0u;
   ByAddr.erase(It);
   return Id;
 }
 
 ObjectId LiveObjectMap::find(uint64_t Addr) const {
+  if (LastFound != ~0u) {
+    const ObjectRecord &Rec = Records[LastFound];
+    if (Addr - Rec.Addr < Rec.Size) // Unsigned: also rejects Addr < Rec.Addr.
+      return LastFound;
+  }
   auto It = ByAddr.upper_bound(Addr);
   if (It == ByAddr.begin())
     return ~0u;
   --It;
   const ObjectRecord &Rec = Records[It->second];
-  if (Addr < Rec.Addr + Rec.Size)
+  if (Addr < Rec.Addr + Rec.Size) {
+    LastFound = It->second;
     return It->second;
+  }
   return ~0u;
 }

@@ -46,6 +46,9 @@ public:
   ObjectId erase(uint64_t Addr);
 
   /// Finds the live object containing \p Addr, or ~0u ("not a heap object").
+  /// Consecutive accesses overwhelmingly hit the same object, so the last
+  /// successful lookup is cached and re-checked in O(1) before the ordered
+  /// map is consulted.
   ObjectId find(uint64_t Addr) const;
 
   /// Metadata of any ever-allocated object (live or freed).
@@ -62,6 +65,9 @@ private:
   std::map<uint64_t, ObjectId> ByAddr; ///< start addr -> live object.
   std::vector<ObjectRecord> Records;   ///< by ObjectId, never shrinks.
   uint64_t NextSeq = 0;
+  /// Last object find() returned; invalidated when that object is freed.
+  /// Inserts never overlap live objects, so a cached hit stays valid.
+  mutable ObjectId LastFound = ~0u;
 };
 
 } // namespace halo

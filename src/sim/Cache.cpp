@@ -2,11 +2,11 @@
 
 #include "sim/Cache.h"
 
+#include "support/Bits.h"
+
 #include <cassert>
 
 using namespace halo;
-
-static bool isPowerOfTwo(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
 
 Cache::Cache(const CacheConfig &Config) : Config(Config) {
   assert(isPowerOfTwo(Config.LineSize) && "line size must be a power of two");

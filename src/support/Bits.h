@@ -1,0 +1,25 @@
+//===- support/Bits.h - Small bit-manipulation helpers ----------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit tricks shared by the allocators and the cache geometry checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_BITS_H
+#define HALO_SUPPORT_BITS_H
+
+#include <cstdint>
+
+namespace halo {
+
+inline constexpr bool isPowerOfTwo(uint64_t X) {
+  return X != 0 && (X & (X - 1)) == 0;
+}
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_BITS_H
