@@ -1,0 +1,248 @@
+//===- bench/bench_replay.cpp - Record/replay throughput bench -----------------===//
+//
+// Measures the record-once/replay-many machinery: per-event throughput of
+// direct workload execution vs trace replay under the measurement
+// configuration (jemalloc model + full memory hierarchy), the cost of
+// recording, and the end-to-end effect on a compareTechniques-style sweep
+// (every allocator kind x several trials) run the pre-trace way (direct,
+// serial) vs the trace way (shared per-seed recordings + parallel trials).
+//
+// Emits rows in the repo's stable trajectory schema
+//   {"bench", "nodes", "edges", "wall_ms", "trials"}
+// where nodes = trace events and edges = trace bytes for the throughput
+// rows, and nodes = measured runs, edges = allocator kinds for the sweep
+// rows. With --append the rows are merged into an existing
+// BENCH_pipeline.json (bench/run_benches.sh runs the grouping bench first,
+// then this one in append mode).
+//
+//   bench_replay [--append] [output.json]
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Evaluation.h"
+#include "mem/SizeClassAllocator.h"
+#include "trace/EventTrace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+struct BenchRow {
+  std::string Bench;
+  uint64_t Nodes;
+  uint64_t Edges;
+  double WallMs;
+  int Trials;
+};
+
+int trials() {
+  if (const char *Env = std::getenv("HALO_BENCH_TRIALS"))
+    return std::max(1, std::atoi(Env));
+  return 3;
+}
+
+double nowMs() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs \p Fn \p Trials times and returns the median wall-clock ms.
+template <typename Fn> double medianMs(int Trials, Fn &&Run) {
+  std::vector<double> Times;
+  Times.reserve(Trials);
+  for (int T = 0; T < Trials; ++T) {
+    double Start = nowMs();
+    Run();
+    Times.push_back(nowMs() - Start);
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+/// Writes \p Rows as a JSON array to \p Path; with \p Append, merges them
+/// into the existing array instead (the grouping bench owns the file's
+/// fresh write).
+void writeJson(const std::string &Path, const std::vector<BenchRow> &Rows,
+               bool Append) {
+  std::string Prefix = "[\n";
+  if (Append) {
+    if (FILE *In = std::fopen(Path.c_str(), "r")) {
+      std::string Existing;
+      char Buf[4096];
+      size_t N;
+      while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+        Existing.append(Buf, N);
+      std::fclose(In);
+      size_t Close = Existing.find_last_of(']');
+      if (Close != std::string::npos) {
+        Prefix = Existing.substr(0, Close);
+        while (!Prefix.empty() &&
+               (Prefix.back() == '\n' || Prefix.back() == ' '))
+          Prefix.pop_back();
+        // An empty existing array must not gain a leading comma (and a
+        // degenerate file still needs its opening bracket).
+        if (Prefix.empty())
+          Prefix = "[\n";
+        else
+          Prefix += Prefix.back() == '[' ? "\n" : ",\n";
+      }
+    }
+  }
+  FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::fputs(Prefix.c_str(), Out);
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const BenchRow &R = Rows[I];
+    std::fprintf(Out,
+                 "  {\"bench\": \"%s\", \"nodes\": %llu, \"edges\": %llu, "
+                 "\"wall_ms\": %.3f, \"trials\": %d}%s\n",
+                 R.Bench.c_str(), static_cast<unsigned long long>(R.Nodes),
+                 static_cast<unsigned long long>(R.Edges), R.WallMs, R.Trials,
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(Out, "]\n");
+  std::fclose(Out);
+}
+
+const AllocatorKind SweepKinds[] = {
+    AllocatorKind::Jemalloc,     AllocatorKind::Ptmalloc,
+    AllocatorKind::Hds,          AllocatorKind::Halo,
+    AllocatorKind::RandomPools,  AllocatorKind::HaloInstrumentedOnly,
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Append = false;
+  std::string OutPath = "BENCH_pipeline.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (std::string(Argv[I]) == "--append")
+      Append = true;
+    else
+      OutPath = Argv[I];
+  }
+  const int Trials = trials();
+  std::vector<BenchRow> Rows;
+
+  std::printf("record/replay bench (trials=%d)\n\n", Trials);
+
+  //===--------------------------------------------------------------------===//
+  // Per-event throughput: record cost, then one measured run (jemalloc +
+  // memory hierarchy) direct vs replayed, per workload.
+  //===--------------------------------------------------------------------===//
+
+  for (const std::string &Name : {std::string("health"),
+                                  std::string("xalanc")}) {
+    auto W = createWorkload(Name);
+    Program P;
+    W->build(P);
+
+    EventTrace Trace;
+    double RecordMs = medianMs(1, [&] {
+      RecordingArena RecordAlloc;
+      Runtime RT(P, RecordAlloc);
+      TraceRecorder Recorder(Trace, RecordAlloc);
+      RT.addObserver(&Recorder);
+      W->run(RT, Scale::Ref, 100);
+    });
+    const uint64_t Events = Trace.numEvents();
+    const uint64_t Bytes = Trace.byteSize();
+
+    uint64_t Guard = 0;
+    double DirectMs = medianMs(Trials, [&] {
+      MemoryHierarchy Memory;
+      SizeClassAllocator Jemalloc;
+      Runtime RT(P, Jemalloc);
+      RT.setMemory(&Memory);
+      W->run(RT, Scale::Ref, 100);
+      Guard += RT.timing().totalCycles();
+    });
+    double ReplayMs = medianMs(Trials, [&] {
+      MemoryHierarchy Memory;
+      SizeClassAllocator Jemalloc;
+      Runtime RT(P, Jemalloc);
+      RT.setMemory(&Memory);
+      RT.replay(Trace);
+      Guard += RT.timing().totalCycles();
+    });
+    if (Guard == 0)
+      return 1; // Defeat dead-code elimination.
+
+    Rows.push_back({"replay_record_" + Name, Events, Bytes, RecordMs, 1});
+    Rows.push_back({"replay_direct_" + Name, Events, Bytes, DirectMs, Trials});
+    Rows.push_back({"replay_replay_" + Name, Events, Bytes, ReplayMs, Trials});
+    std::printf("%-8s %9llu events %9llu bytes: record %8.2f ms, "
+                "direct %8.2f ms (%5.1f M ev/s), replay %8.2f ms "
+                "(%5.1f M ev/s, %.2fx)\n",
+                Name.c_str(), static_cast<unsigned long long>(Events),
+                static_cast<unsigned long long>(Bytes), RecordMs, DirectMs,
+                static_cast<double>(Events) / DirectMs / 1e3, ReplayMs,
+                static_cast<double>(Events) / ReplayMs / 1e3,
+                DirectMs / std::max(ReplayMs, 1e-6));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // End-to-end sweep: every allocator kind x Trials trials on one
+  // benchmark, the pre-trace way (direct execution, serial) vs the trace
+  // way (per-seed recordings shared by all kinds + parallel trials).
+  // Pipeline artifacts are materialised up front on both sides so the
+  // rows compare pure measurement.
+  //===--------------------------------------------------------------------===//
+
+  {
+    const std::string Name = "health";
+    const int Kinds = static_cast<int>(std::size(SweepKinds));
+
+    Evaluation DirectEval(paperSetup(Name));
+    DirectEval.haloArtifacts();
+    DirectEval.hdsArtifacts();
+    uint64_t Guard = 0;
+    double DirectStart = nowMs();
+    for (AllocatorKind Kind : SweepKinds)
+      for (int T = 0; T < Trials; ++T)
+        Guard += DirectEval.measureDirect(Kind, Scale::Ref, 100 + T).Cycles;
+    double DirectMs = nowMs() - DirectStart;
+
+    Evaluation TraceEval(paperSetup(Name));
+    TraceEval.haloArtifacts();
+    TraceEval.hdsArtifacts();
+    double TraceStart = nowMs();
+    for (AllocatorKind Kind : SweepKinds) {
+      auto Runs = TraceEval.measureTrials(Kind, Scale::Ref, Trials, 100,
+                                          /*Jobs=*/0);
+      for (const RunMetrics &M : Runs)
+        Guard += M.Cycles;
+    }
+    double TraceMs = nowMs() - TraceStart;
+    if (Guard == 0)
+      return 1;
+
+    uint64_t SweepRuns = static_cast<uint64_t>(Kinds) * Trials;
+    Rows.push_back({"sweep_direct_serial", SweepRuns,
+                    static_cast<uint64_t>(Kinds), DirectMs, Trials});
+    Rows.push_back({"sweep_trace_parallel", SweepRuns,
+                    static_cast<uint64_t>(Kinds), TraceMs, Trials});
+    std::printf("\nsweep (%s, %d kinds x %d trials): direct serial "
+                "%8.2f ms, shared-trace parallel %8.2f ms  (%.2fx)\n",
+                Name.c_str(), Kinds, Trials, DirectMs, TraceMs,
+                DirectMs / std::max(TraceMs, 1e-6));
+  }
+
+  writeJson(OutPath, Rows, Append);
+  std::printf("\n%s %s (%zu rows)\n", Append ? "appended to" : "wrote",
+              OutPath.c_str(), Rows.size());
+  return 0;
+}

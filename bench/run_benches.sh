@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Runs the pipeline scale bench (and any future machine-readable benches)
-# and writes BENCH_pipeline.json at the repo root in the stable schema
+# Runs the machine-readable benches and rewrites BENCH_pipeline.json at the
+# repo root in the stable schema
 #   {"bench", "nodes", "edges", "wall_ms", "trials"}
-# so successive PRs can track the perf trajectory.
+# so successive PRs can track the perf trajectory. bench_grouping_scale
+# writes the file fresh; bench_replay appends its record/replay rows.
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: build)
 # HALO_BENCH_TRIALS overrides the per-config trial count.
@@ -14,13 +15,15 @@ case "$BUILD" in
   /*) ;;                 # Absolute build dir: use as-is.
   *) BUILD="$ROOT/$BUILD" ;;
 esac
-BIN="$BUILD/bench/bench_grouping_scale"
 
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not built; run: cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j" >&2
-  exit 1
-fi
+for Bench in bench_grouping_scale bench_replay; do
+  if [[ ! -x "$BUILD/bench/$Bench" ]]; then
+    echo "error: $BUILD/bench/$Bench not built; run: cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j" >&2
+    exit 1
+  fi
+done
 
-"$BIN" "$ROOT/BENCH_pipeline.json"
+"$BUILD/bench/bench_grouping_scale" "$ROOT/BENCH_pipeline.json"
+"$BUILD/bench/bench_replay" --append "$ROOT/BENCH_pipeline.json"
 echo "BENCH_pipeline.json updated:"
 cat "$ROOT/BENCH_pipeline.json"

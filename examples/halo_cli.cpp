@@ -7,17 +7,25 @@
 // `plot` renders ASCII bar charts of the Figure 13/14 series. The
 // artefact's per-benchmark flags (A.8) are accepted too.
 //
-//   halo_cli baseline <benchmark> [--trials N]
-//   halo_cli run <benchmark> [--trials N] [--chunk-size BYTES]
+//   halo_cli baseline <benchmark> [--trials N] [--jobs N]
+//   halo_cli run <benchmark> [--trials N] [--jobs N] [--chunk-size BYTES]
 //            [--max-spare-chunks N] [--max-groups N] [--affinity-distance A]
-//   halo_cli hds <benchmark> [--trials N]
-//   halo_cli plot [benchmark...]
+//   halo_cli hds <benchmark> [--trials N] [--jobs N]
+//   halo_cli trace <benchmark>       # record an event trace, print counts
+//   halo_cli plot [benchmark...] [--trials N] [--jobs N]
+//
+// Trials are recorded once per seed into an event trace and measured by
+// replay, fanned out across --jobs worker threads (default: hardware
+// concurrency).
 //
 //===----------------------------------------------------------------------===//
 
 #include "eval/Evaluation.h"
 #include "support/Format.h"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +41,7 @@ struct CliOptions {
   std::string Benchmark;
   std::vector<std::string> Benchmarks;
   int Trials = 3;
+  int Jobs = 0; ///< 0 = hardware concurrency.
   uint64_t ChunkSize = 0;
   int MaxSpareChunks = -1;
   uint32_t MaxGroups = 0;
@@ -42,9 +51,9 @@ struct CliOptions {
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: halo_cli <baseline|run|hds> <benchmark> [flags]\n"
-      "       halo_cli plot [benchmark...]\n"
-      "flags: --trials N  --chunk-size BYTES  --max-spare-chunks N\n"
+      "usage: halo_cli <baseline|run|hds|trace> <benchmark> [flags]\n"
+      "       halo_cli plot [benchmark...] [flags]\n"
+      "flags: --trials N  --jobs N  --chunk-size BYTES  --max-spare-chunks N\n"
       "       --max-groups N  --affinity-distance BYTES\n"
       "benchmarks:");
   for (const std::string &Name : workloadNames())
@@ -53,14 +62,44 @@ struct CliOptions {
   std::exit(1);
 }
 
+[[noreturn]] void usageError(const char *Format, const char *A,
+                             const char *B = "") {
+  std::fprintf(stderr, "halo_cli: error: ");
+  std::fprintf(stderr, Format, A, B);
+  std::fprintf(stderr, "\n");
+  usage();
+}
+
+/// Strict decimal parse: the whole value must be digits and fit
+/// [Min, Max] (atoi's silent "--trials x" -> 0, and a narrowing cast's
+/// silent "--trials 4294967296" -> 0, are exactly the bugs this forbids).
+uint64_t parseUnsigned(const std::string &Flag, const char *Text,
+                       uint64_t Min, uint64_t Max = UINT64_MAX) {
+  if (*Text == '\0' || !std::isdigit(static_cast<unsigned char>(*Text)))
+    usageError("invalid value for %s: '%s' (expected a number)",
+               Flag.c_str(), Text);
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Text, &End, 10);
+  if (*End != '\0')
+    usageError("invalid value for %s: '%s' (expected a number)",
+               Flag.c_str(), Text);
+  if (errno == ERANGE || Value > Max)
+    usageError("value for %s out of range: '%s'", Flag.c_str(), Text);
+  if (Value < Min)
+    usageError("value for %s too small: '%s'", Flag.c_str(), Text);
+  return Value;
+}
+
 CliOptions parseArgs(int Argc, char **Argv) {
   CliOptions Opts;
   if (Argc < 2)
     usage();
   Opts.Command = Argv[1];
+  bool IsPlot = Opts.Command == "plot";
   int I = 2;
-  if (Opts.Command != "plot") {
-    if (Argc < 3)
+  if (!IsPlot) {
+    if (Argc < 3 || Argv[2][0] == '-')
       usage();
     Opts.Benchmark = Argv[2];
     I = 3;
@@ -69,23 +108,31 @@ CliOptions parseArgs(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     auto Value = [&]() -> const char * {
       if (I + 1 >= Argc)
-        usage();
+        usageError("flag %s expects a value", Arg.c_str());
       return Argv[++I];
     };
     if (Arg == "--trials")
-      Opts.Trials = std::atoi(Value());
+      Opts.Trials =
+          static_cast<int>(parseUnsigned(Arg, Value(), /*Min=*/1, INT_MAX));
+    else if (Arg == "--jobs")
+      Opts.Jobs =
+          static_cast<int>(parseUnsigned(Arg, Value(), /*Min=*/1, INT_MAX));
     else if (Arg == "--chunk-size")
-      Opts.ChunkSize = std::strtoull(Value(), nullptr, 10);
+      Opts.ChunkSize = parseUnsigned(Arg, Value(), /*Min=*/1);
     else if (Arg == "--max-spare-chunks")
-      Opts.MaxSpareChunks = std::atoi(Value());
+      Opts.MaxSpareChunks = static_cast<int>(
+          parseUnsigned(Arg, Value(), /*Min=*/0, INT_MAX));
     else if (Arg == "--max-groups")
-      Opts.MaxGroups = static_cast<uint32_t>(std::atoi(Value()));
+      Opts.MaxGroups = static_cast<uint32_t>(
+          parseUnsigned(Arg, Value(), /*Min=*/1, UINT32_MAX));
     else if (Arg == "--affinity-distance")
-      Opts.AffinityDistance = std::strtoull(Value(), nullptr, 10);
-    else if (Arg[0] != '-')
+      Opts.AffinityDistance = parseUnsigned(Arg, Value(), /*Min=*/1);
+    else if (Arg[0] == '-')
+      usageError("unknown flag '%s'", Arg.c_str());
+    else if (IsPlot)
       Opts.Benchmarks.push_back(Arg);
     else
-      usage();
+      usageError("unexpected argument '%s'", Arg.c_str());
   }
   return Opts;
 }
@@ -158,13 +205,41 @@ int runPlot(const CliOptions &Opts) {
       std::fprintf(stderr, "unknown benchmark '%s'\n", Name.c_str());
       return 1;
     }
-    ComparisonRow Row = compareTechniques(Name, Opts.Trials);
+    ComparisonRow Row =
+        compareTechniques(Name, Opts.Trials, Scale::Ref, Opts.Jobs);
     std::printf("%s\n", Name.c_str());
     asciiBar("hds", Row.HdsMissReduction, 40.0);
     asciiBar("halo", Row.HaloMissReduction, 40.0);
     asciiBar("hds", Row.HdsSpeedup, 40.0);
     asciiBar("halo", Row.HaloSpeedup, 40.0);
   }
+  return 0;
+}
+
+int runTrace(const CliOptions &Opts) {
+  Evaluation Eval(setupFor(Opts));
+  const EventTrace &Trace = Eval.trace(Scale::Ref, /*Seed=*/100);
+  const TraceCounts &C = Trace.counts();
+  std::printf(
+      "{\n  \"benchmark\": \"%s\",\n  \"scale\": \"ref\",\n"
+      "  \"events\": %llu,\n  \"bytes\": %llu,\n  \"objects\": %llu,\n"
+      "  \"bytes_per_event\": %.3f,\n"
+      "  \"counts\": {\"calls\": %llu, \"returns\": %llu, \"allocs\": %llu, "
+      "\"frees\": %llu,\n             \"loads\": %llu, \"stores\": %llu, "
+      "\"raw_loads\": %llu, \"raw_stores\": %llu,\n             "
+      "\"computes\": %llu, \"reallocs\": %llu}\n}\n",
+      Opts.Benchmark.c_str(), (unsigned long long)Trace.numEvents(),
+      (unsigned long long)Trace.byteSize(),
+      (unsigned long long)Trace.numObjects(),
+      Trace.numEvents()
+          ? static_cast<double>(Trace.byteSize()) /
+                static_cast<double>(Trace.numEvents())
+          : 0.0,
+      (unsigned long long)C.Calls, (unsigned long long)C.Returns,
+      (unsigned long long)C.Allocs, (unsigned long long)C.Frees,
+      (unsigned long long)C.Loads, (unsigned long long)C.Stores,
+      (unsigned long long)C.RawLoads, (unsigned long long)C.RawStores,
+      (unsigned long long)C.Computes, (unsigned long long)C.Reallocs);
   return 0;
 }
 
@@ -179,6 +254,9 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", Opts.Benchmark.c_str());
     return 1;
   }
+  if (Opts.Command == "trace")
+    return runTrace(Opts);
+
   Evaluation Eval(setupFor(Opts));
   AllocatorKind Kind;
   if (Opts.Command == "baseline")
@@ -191,7 +269,8 @@ int main(int Argc, char **Argv) {
     usage();
 
   std::vector<RunMetrics> Runs =
-      Eval.measureTrials(Kind, Scale::Ref, Opts.Trials);
+      Eval.measureTrials(Kind, Scale::Ref, Opts.Trials, /*SeedBase=*/100,
+                         Opts.Jobs);
   printRunsJson(Opts.Benchmark, Opts.Command, Runs);
   return 0;
 }

@@ -3,8 +3,16 @@
 #include "core/Pipeline.h"
 
 #include "mem/SizeClassAllocator.h"
+#include "trace/EventTrace.h"
 
 using namespace halo;
+
+HaloArtifacts
+halo::optimizeBinary(const Program &Prog, const EventTrace &Trace,
+                     const HaloParameters &Params) {
+  return optimizeBinary(
+      Prog, [&](Runtime &RT) { RT.replay(Trace); }, Params);
+}
 
 HaloArtifacts
 halo::optimizeBinary(const Program &Prog,

@@ -31,6 +31,8 @@
 
 namespace halo {
 
+class EventTrace;
+
 /// All tunables of the pipeline (defaults follow Section 5.1).
 struct HaloParameters {
   ProfileOptions Profile;
@@ -59,6 +61,14 @@ struct HaloArtifacts {
 /// and the heap profiler, standing in for the Pin tool.
 HaloArtifacts optimizeBinary(const Program &Prog,
                              const std::function<void(Runtime &)> &RunWorkload,
+                             const HaloParameters &Params = HaloParameters());
+
+/// Same pipeline, driven by a pre-recorded event trace instead of
+/// re-executing the workload: the profiling stage replays \p Trace into the
+/// heap profiler, producing artifacts bit-identical to profiling the
+/// recorded run directly. This lets one recording feed both the HALO and
+/// hot-data-streams pipelines (and any number of parameter sweeps).
+HaloArtifacts optimizeBinary(const Program &Prog, const EventTrace &Trace,
                              const HaloParameters &Params = HaloParameters());
 
 } // namespace halo

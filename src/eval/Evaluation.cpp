@@ -7,7 +7,9 @@
 #include "mem/SizeClassAllocator.h"
 #include "support/Stats.h"
 
+#include <atomic>
 #include <cassert>
+#include <thread>
 
 using namespace halo;
 
@@ -40,30 +42,60 @@ Evaluation::Evaluation(BenchmarkSetup SetupIn) : Setup(std::move(SetupIn)) {
 }
 
 const HaloArtifacts &Evaluation::haloArtifacts() {
-  if (!HaloArt) {
+  if (!HaloArt)
     HaloArt = optimizeBinary(
-        Prog,
-        [&](Runtime &RT) {
-          W->run(RT, Setup.ProfileScale, Setup.ProfileSeed);
-        },
-        Setup.Halo);
-  }
+        Prog, trace(Setup.ProfileScale, Setup.ProfileSeed), Setup.Halo);
   return *HaloArt;
 }
 
 const HdsArtifacts &Evaluation::hdsArtifacts() {
-  if (!HdsArt) {
+  if (!HdsArt)
     HdsArt = optimizeBinaryHds(
-        Prog,
-        [&](Runtime &RT) {
-          W->run(RT, Setup.ProfileScale, Setup.ProfileSeed);
-        },
-        Setup.Hds);
-  }
+        Prog, trace(Setup.ProfileScale, Setup.ProfileSeed), Setup.Hds);
   return *HdsArt;
 }
 
+const EventTrace &Evaluation::trace(Scale S, uint64_t Seed) {
+  auto Key = std::make_pair(static_cast<int>(S), Seed);
+  {
+    std::lock_guard<std::mutex> Lock(TraceMutex);
+    auto It = Traces.find(Key);
+    if (It != Traces.end())
+      return It->second;
+  }
+  // Record outside the lock so distinct seeds record in parallel. The
+  // recording allocator's addresses never reach the trace (accesses are
+  // object-relative), so the id-encoding arena serves the run and the
+  // recorder attributes accesses arithmetically; no memory hierarchy or
+  // instrumentation is needed to capture the event stream.
+  EventTrace Recorded;
+  {
+    RecordingArena RecordAlloc;
+    Runtime RT(Prog, RecordAlloc);
+    TraceRecorder Recorder(Recorded, RecordAlloc);
+    RT.addObserver(&Recorder);
+    W->run(RT, S, Seed);
+  }
+  std::lock_guard<std::mutex> Lock(TraceMutex);
+  // If another thread recorded the same key first, its copy wins (the
+  // recordings are identical anyway).
+  return Traces.emplace(Key, std::move(Recorded)).first->second;
+}
+
 RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
+  const EventTrace &Trace = trace(S, Seed);
+  return measureWith(Kind, Seed, [&](Runtime &RT) { RT.replay(Trace); });
+}
+
+RunMetrics Evaluation::measureDirect(AllocatorKind Kind, Scale S,
+                                     uint64_t Seed) {
+  return measureWith(Kind, Seed,
+                     [&](Runtime &RT) { W->run(RT, S, Seed); });
+}
+
+RunMetrics
+Evaluation::measureWith(AllocatorKind Kind, uint64_t Seed,
+                        const std::function<void(Runtime &)> &Drive) {
   MemoryHierarchy Memory;
   SizeClassAllocator Jemalloc;
   BoundaryTagAllocator Ptmalloc;
@@ -87,14 +119,14 @@ RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
   case AllocatorKind::Jemalloc: {
     Runtime RT(Prog, Jemalloc);
     RT.setMemory(&Memory);
-    W->run(RT, S, Seed);
+    Drive(RT);
     Finish(RT, nullptr);
     break;
   }
   case AllocatorKind::Ptmalloc: {
     Runtime RT(Prog, Ptmalloc);
     RT.setMemory(&Memory);
-    W->run(RT, S, Seed);
+    Drive(RT);
     Finish(RT, nullptr);
     break;
   }
@@ -102,7 +134,7 @@ RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
     RandomPoolAllocator Pools(Jemalloc, /*Seed=*/Seed * 11 + 3);
     Runtime RT(Prog, Pools);
     RT.setMemory(&Memory);
-    W->run(RT, S, Seed);
+    Drive(RT);
     Finish(RT, nullptr);
     break;
   }
@@ -114,7 +146,7 @@ RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
     GroupAllocator Halo(Jemalloc, Policy, Setup.Halo.Allocator);
     RT.setAllocator(Halo);
     RT.setMemory(&Memory);
-    W->run(RT, S, Seed);
+    Drive(RT);
     Finish(RT, &Halo);
     break;
   }
@@ -125,7 +157,7 @@ RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
     GroupAllocator Hds(Jemalloc, Policy, Setup.Hds.Allocator);
     Runtime RT(Prog, Hds);
     RT.setMemory(&Memory);
-    W->run(RT, S, Seed);
+    Drive(RT);
     Finish(RT, &Hds);
     break;
   }
@@ -134,7 +166,7 @@ RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
     Runtime RT(Prog, Jemalloc);
     RT.setInstrumentation(&Art.Plan);
     RT.setMemory(&Memory);
-    W->run(RT, S, Seed);
+    Drive(RT);
     Finish(RT, nullptr);
     break;
   }
@@ -142,13 +174,46 @@ RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
   return Out;
 }
 
+void Evaluation::prepareArtifacts(AllocatorKind Kind) {
+  if (Kind == AllocatorKind::Halo ||
+      Kind == AllocatorKind::HaloInstrumentedOnly)
+    haloArtifacts();
+  else if (Kind == AllocatorKind::Hds)
+    hdsArtifacts();
+}
+
 std::vector<RunMetrics> Evaluation::measureTrials(AllocatorKind Kind, Scale S,
                                                   int Trials,
-                                                  uint64_t SeedBase) {
-  std::vector<RunMetrics> Runs;
-  Runs.reserve(Trials);
-  for (int T = 0; T < Trials; ++T)
-    Runs.push_back(measure(Kind, S, SeedBase + T));
+                                                  uint64_t SeedBase,
+                                                  int Jobs) {
+  prepareArtifacts(Kind);
+
+  unsigned Workers = Jobs > 0
+                         ? static_cast<unsigned>(Jobs)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  if (Trials > 0 && Workers > static_cast<unsigned>(Trials))
+    Workers = static_cast<unsigned>(Trials);
+
+  std::vector<RunMetrics> Runs(std::max(Trials, 0));
+  if (Workers <= 1) {
+    for (int T = 0; T < Trials; ++T)
+      Runs[T] = measure(Kind, S, SeedBase + T);
+    return Runs;
+  }
+
+  // Every trial is independent and deterministic, so workers can claim
+  // them off a shared counter; slot T always holds seed SeedBase + T, and
+  // the result vector is bit-identical to the serial one.
+  std::atomic<int> Next{0};
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (unsigned J = 0; J < Workers; ++J)
+    Pool.emplace_back([&] {
+      for (int T; (T = Next.fetch_add(1)) < Trials;)
+        Runs[T] = measure(Kind, S, SeedBase + T);
+    });
+  for (std::thread &Worker : Pool)
+    Worker.join();
   return Runs;
 }
 
@@ -167,11 +232,14 @@ double Evaluation::medianL1Misses(const std::vector<RunMetrics> &Runs) {
 }
 
 ComparisonRow halo::compareTechniques(const std::string &Benchmark,
-                                      int Trials, Scale S) {
+                                      int Trials, Scale S, int Jobs) {
   Evaluation Eval(paperSetup(Benchmark));
-  auto Base = Eval.measureTrials(AllocatorKind::Jemalloc, S, Trials);
-  auto Hds = Eval.measureTrials(AllocatorKind::Hds, S, Trials);
-  auto Halo = Eval.measureTrials(AllocatorKind::Halo, S, Trials);
+  // The first configuration's trials record the per-seed traces (in
+  // parallel); the other two replay them.
+  auto Base = Eval.measureTrials(AllocatorKind::Jemalloc, S, Trials, 100,
+                                 Jobs);
+  auto Hds = Eval.measureTrials(AllocatorKind::Hds, S, Trials, 100, Jobs);
+  auto Halo = Eval.measureTrials(AllocatorKind::Halo, S, Trials, 100, Jobs);
 
   ComparisonRow Row;
   Row.Benchmark = Benchmark;

@@ -19,11 +19,16 @@
 
 #include "core/Pipeline.h"
 #include "hds/HdsPipeline.h"
+#include "trace/EventTrace.h"
 #include "workloads/Workload.h"
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace halo {
@@ -68,22 +73,44 @@ struct BenchmarkSetup {
 BenchmarkSetup paperSetup(const std::string &Benchmark);
 
 /// One benchmark wired up for measurement.
+///
+/// Workload runs are recorded once per (scale, seed) into an event trace
+/// and every allocator configuration is measured by replaying that trace
+/// (bit-identical to direct execution; tests/trace_replay_test.cpp holds
+/// the invariant). Trials are independent and deterministic, so
+/// measureTrials can fan them out across worker threads.
 class Evaluation {
 public:
   explicit Evaluation(BenchmarkSetup Setup);
 
-  /// The HALO pipeline output (profiled lazily, once).
+  /// The HALO pipeline output (profiled lazily, once, by replaying the
+  /// profile-scale trace).
   const HaloArtifacts &haloArtifacts();
-  /// The hot-data-streams pipeline output (profiled lazily, once).
+  /// The hot-data-streams pipeline output (profiled lazily, once, from the
+  /// same recording the HALO pipeline uses).
   const HdsArtifacts &hdsArtifacts();
 
-  /// Measures one configuration on one input.
+  /// Records (once) and returns the event trace of the workload run for
+  /// (\p S, \p Seed). Thread-safe; recordings of distinct keys proceed in
+  /// parallel.
+  const EventTrace &trace(Scale S, uint64_t Seed);
+
+  /// Measures one configuration on one input by replaying the cached
+  /// trace. Safe to call concurrently once the pipeline artifacts the kind
+  /// needs exist (measureTrials materialises them before fanning out).
   RunMetrics measure(AllocatorKind Kind, Scale S, uint64_t Seed);
+
+  /// Reference path: measures by executing the workload model directly,
+  /// without any trace. Kept as the oracle replay is tested against.
+  RunMetrics measureDirect(AllocatorKind Kind, Scale S, uint64_t Seed);
 
   /// Measures \p Trials runs with distinct seeds (the paper uses 11 trials
   /// and reports medians; seeds stand in for run-to-run variation).
+  /// \p Jobs worker threads share the trials (0 = hardware concurrency);
+  /// results are bit-identical to the serial order regardless.
   std::vector<RunMetrics> measureTrials(AllocatorKind Kind, Scale S,
-                                        int Trials, uint64_t SeedBase = 100);
+                                        int Trials, uint64_t SeedBase = 100,
+                                        int Jobs = 0);
 
   /// Median seconds / L1D misses over a set of runs.
   static double medianSeconds(const std::vector<RunMetrics> &Runs);
@@ -94,11 +121,20 @@ public:
   Workload &workload() { return *W; }
 
 private:
+  RunMetrics measureWith(AllocatorKind Kind, uint64_t Seed,
+                         const std::function<void(Runtime &)> &Drive);
+  /// Materialises the artifacts \p Kind's measurement consults, so worker
+  /// threads only ever read them.
+  void prepareArtifacts(AllocatorKind Kind);
+
   BenchmarkSetup Setup;
   std::unique_ptr<Workload> W;
   Program Prog;
   std::optional<HaloArtifacts> HaloArt;
   std::optional<HdsArtifacts> HdsArt;
+  /// (scale, seed) -> recorded trace. std::map for reference stability.
+  std::map<std::pair<int, uint64_t>, EventTrace> Traces;
+  std::mutex TraceMutex;
 };
 
 /// The data behind one bar pair of Figures 13/14.
@@ -111,9 +147,11 @@ struct ComparisonRow {
 };
 
 /// Runs baseline, HDS, and HALO trials for \p Benchmark and reduces them to
-/// the paper's two headline percentages.
+/// the paper's two headline percentages. Each configuration replays the
+/// per-seed traces recorded by the first; \p Jobs fans trials out across
+/// worker threads (0 = hardware concurrency).
 ComparisonRow compareTechniques(const std::string &Benchmark, int Trials,
-                                Scale S = Scale::Ref);
+                                Scale S = Scale::Ref, int Jobs = 0);
 
 } // namespace halo
 

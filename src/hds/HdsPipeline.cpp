@@ -3,8 +3,16 @@
 #include "hds/HdsPipeline.h"
 
 #include "mem/SizeClassAllocator.h"
+#include "trace/EventTrace.h"
 
 using namespace halo;
+
+HdsArtifacts
+halo::optimizeBinaryHds(const Program &Prog, const EventTrace &Trace,
+                        const HdsParameters &Params) {
+  return optimizeBinaryHds(
+      Prog, [&](Runtime &RT) { RT.replay(Trace); }, Params);
+}
 
 HdsArtifacts
 halo::optimizeBinaryHds(const Program &Prog,

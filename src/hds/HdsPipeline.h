@@ -29,6 +29,8 @@
 
 namespace halo {
 
+class EventTrace;
+
 struct HdsParameters {
   ProfileOptions Profile; ///< RecordReferenceTrace is forced on.
   HotStreamOptions Streams;
@@ -46,6 +48,11 @@ struct HdsArtifacts {
 /// policy (groups of malloc call sites).
 HdsArtifacts optimizeBinaryHds(const Program &Prog,
                                const std::function<void(Runtime &)> &RunWorkload,
+                               const HdsParameters &Params = HdsParameters());
+
+/// Same pipeline, driven by a pre-recorded event trace (see the matching
+/// optimizeBinary overload): HALO and HDS can share one recording.
+HdsArtifacts optimizeBinaryHds(const Program &Prog, const EventTrace &Trace,
                                const HdsParameters &Params = HdsParameters());
 
 } // namespace halo

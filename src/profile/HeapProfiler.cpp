@@ -48,7 +48,18 @@ bool HeapProfiler::coAllocatable(const AffinityQueue::Entry &New,
   return true;
 }
 
-void HeapProfiler::onAccess(uint64_t Addr, uint64_t Size, bool) {
+void HeapProfiler::onAccess(uint64_t Addr, uint64_t Size, bool IsStore) {
+  handleAccess(Addr, Size, IsStore);
+}
+
+RuntimeObserver::AccessHookFn HeapProfiler::accessHook() {
+  return [](RuntimeObserver &Self, uint64_t Addr, uint64_t Size,
+            bool IsStore) {
+    static_cast<HeapProfiler &>(Self).handleAccess(Addr, Size, IsStore);
+  };
+}
+
+void HeapProfiler::handleAccess(uint64_t Addr, uint64_t Size, bool) {
   ObjectId Obj = Objects.find(Addr);
   if (Obj == ~0u)
     return; // Not a (live) heap object: stack/global traffic.

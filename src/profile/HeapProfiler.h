@@ -51,7 +51,7 @@ struct ProfileOptions {
 };
 
 /// Builds the affinity graph (and optional reference trace) from a run.
-class HeapProfiler : public RuntimeObserver {
+class HeapProfiler final : public RuntimeObserver {
 public:
   HeapProfiler(const Program &Prog, const ProfileOptions &Options);
 
@@ -61,6 +61,10 @@ public:
   void onAlloc(uint64_t Addr, uint64_t Size, CallSiteId MallocSite) override;
   void onFree(uint64_t Addr) override;
   void onAccess(uint64_t Addr, uint64_t Size, bool IsStore) override;
+  /// Devirtualized per-access fast path: profiling attaches exactly one
+  /// observer, so the runtime calls the non-virtual handler directly
+  /// (Section 4.1's 500x profiling slowdown lives on this edge).
+  AccessHookFn accessHook() override;
 
   /// Finalises and returns the affinity graph: cold nodes filtered per
   /// NodeCoverage. Call once, after the profiled run.
@@ -81,6 +85,7 @@ public:
   uint64_t totalAccesses() const { return MacroAccesses; }
 
 private:
+  void handleAccess(uint64_t Addr, uint64_t Size, bool IsStore);
   bool coAllocatable(const AffinityQueue::Entry &New,
                      const AffinityQueue::Entry &Old, ContextId NewCtx) const;
 

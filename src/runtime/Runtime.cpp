@@ -2,6 +2,8 @@
 
 #include "runtime/Runtime.h"
 
+#include "trace/EventTrace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -13,6 +15,14 @@ void RuntimeObserver::onReturn(CallSiteId) {}
 void RuntimeObserver::onAlloc(uint64_t, uint64_t, CallSiteId) {}
 void RuntimeObserver::onFree(uint64_t) {}
 void RuntimeObserver::onAccess(uint64_t, uint64_t, bool) {}
+void RuntimeObserver::onCompute(uint64_t) {}
+void RuntimeObserver::onReallocBegin(uint64_t, uint64_t, CallSiteId) {}
+void RuntimeObserver::onReallocEnd(uint64_t) {}
+
+RuntimeObserver::AccessHookFn RuntimeObserver::accessHook() {
+  return [](RuntimeObserver &Self, uint64_t Addr, uint64_t Size,
+            bool IsStore) { Self.onAccess(Addr, Size, IsStore); };
+}
 
 Runtime::Runtime(const Program &Prog, Allocator &Alloc)
     : Prog(Prog), Alloc(&Alloc) {}
@@ -26,6 +36,16 @@ void Runtime::setInstrumentation(const InstrumentationPlan *NewPlan) {
 void Runtime::addObserver(RuntimeObserver *Observer) {
   assert(Observer && "null observer");
   Observers.push_back(Observer);
+  SoleAccessHook = Observers.size() == 1 ? Observer->accessHook() : nullptr;
+}
+
+void Runtime::notifyAccess(uint64_t Addr, uint64_t Size, bool IsStore) {
+  if (SoleAccessHook) {
+    SoleAccessHook(*Observers.front(), Addr, Size, IsStore);
+    return;
+  }
+  for (RuntimeObserver *Obs : Observers)
+    Obs->onAccess(Addr, Size, IsStore);
 }
 
 void Runtime::enter(CallSiteId Site) {
@@ -91,6 +111,8 @@ uint64_t Runtime::realloc(uint64_t Addr, uint64_t NewSize,
                           CallSiteId MallocSite) {
   if (Addr == 0)
     return malloc(NewSize, MallocSite);
+  for (RuntimeObserver *Obs : Observers)
+    Obs->onReallocBegin(Addr, NewSize, MallocSite);
   uint64_t CopyBytes = std::min(Alloc->usableSize(Addr), NewSize);
   uint64_t NewAddr = malloc(NewSize, MallocSite);
   for (uint64_t Off = 0; Off < CopyBytes; Off += 64) {
@@ -99,6 +121,8 @@ uint64_t Runtime::realloc(uint64_t Addr, uint64_t NewSize,
     store(NewAddr + Off, Span);
   }
   free(Addr);
+  for (RuntimeObserver *Obs : Observers)
+    Obs->onReallocEnd(NewAddr);
   return NewAddr;
 }
 
@@ -112,18 +136,79 @@ void Runtime::free(uint64_t Addr) {
   ++Stats.Frees;
 }
 
-void Runtime::load(uint64_t Addr, uint64_t Size) {
-  ++Stats.Loads;
-  if (Memory)
-    Timing.addMemory(Memory->access(Addr, Size));
-  for (RuntimeObserver *Obs : Observers)
-    Obs->onAccess(Addr, Size, /*IsStore=*/false);
-}
+void Runtime::replay(const EventTrace &Trace) {
+  // Replay-time object table: the Nth minted object's address under *this*
+  // runtime's allocator. Frees leave entries stale, exactly like a freed
+  // pointer; the recorder never emits accesses through them.
+  std::vector<uint64_t> ObjAddr;
+  ObjAddr.reserve(Trace.numObjects());
 
-void Runtime::store(uint64_t Addr, uint64_t Size) {
-  ++Stats.Stores;
-  if (Memory)
-    Timing.addMemory(Memory->access(Addr, Size));
-  for (RuntimeObserver *Obs : Observers)
-    Obs->onAccess(Addr, Size, /*IsStore=*/true);
+  EventTrace::Reader R = Trace.reader();
+  while (!R.atEnd()) {
+    switch (R.op()) {
+    case TraceOp::Call:
+      enter(static_cast<CallSiteId>(R.varint()));
+      break;
+    case TraceOp::Return:
+      leave();
+      break;
+    case TraceOp::Alloc: {
+      CallSiteId Site = static_cast<CallSiteId>(R.varint());
+      uint64_t Size = R.varint();
+      ObjAddr.push_back(malloc(Size, Site));
+      break;
+    }
+    case TraceOp::Free:
+      free(ObjAddr[R.varint()]);
+      break;
+    case TraceOp::Load: {
+      uint64_t Id = R.varint();
+      uint64_t Offset = R.varint();
+      uint64_t Size = R.varint();
+      load(ObjAddr[Id] + Offset, Size);
+      break;
+    }
+    case TraceOp::Store: {
+      uint64_t Id = R.varint();
+      uint64_t Offset = R.varint();
+      uint64_t Size = R.varint();
+      store(ObjAddr[Id] + Offset, Size);
+      break;
+    }
+    case TraceOp::LoadBase: {
+      uint64_t Id = R.varint();
+      uint64_t Size = R.varint();
+      load(ObjAddr[Id], Size);
+      break;
+    }
+    case TraceOp::StoreBase: {
+      uint64_t Id = R.varint();
+      uint64_t Size = R.varint();
+      store(ObjAddr[Id], Size);
+      break;
+    }
+    case TraceOp::LoadRaw: {
+      uint64_t Addr = R.varint();
+      uint64_t Size = R.varint();
+      load(Addr, Size);
+      break;
+    }
+    case TraceOp::StoreRaw: {
+      uint64_t Addr = R.varint();
+      uint64_t Size = R.varint();
+      store(Addr, Size);
+      break;
+    }
+    case TraceOp::Compute:
+      compute(R.varint());
+      break;
+    case TraceOp::Realloc: {
+      uint64_t Old = R.varint();
+      CallSiteId Site = static_cast<CallSiteId>(R.varint());
+      uint64_t NewSize = R.varint();
+      ObjAddr.push_back(realloc(ObjAddr[Old], NewSize, Site));
+      break;
+    }
+    }
+  }
 }

@@ -35,6 +35,8 @@
 
 namespace halo {
 
+class EventTrace;
+
 /// Receives the raw event stream of a run (the Pin-tool role).
 class RuntimeObserver {
 public:
@@ -44,6 +46,25 @@ public:
   virtual void onAlloc(uint64_t Addr, uint64_t Size, CallSiteId MallocSite);
   virtual void onFree(uint64_t Addr);
   virtual void onAccess(uint64_t Addr, uint64_t Size, bool IsStore);
+  /// Pure-compute cycles reported through Runtime::compute (needed by trace
+  /// recording; cycle totals are part of a run's metrics).
+  virtual void onCompute(uint64_t Cycles);
+  /// Brackets a composite realloc (Addr != 0): the primitive alloc, copy
+  /// accesses, and free in between belong to the realloc. Observers that
+  /// only care about primitives (the profiler) ignore these.
+  virtual void onReallocBegin(uint64_t OldAddr, uint64_t NewSize,
+                              CallSiteId MallocSite);
+  virtual void onReallocEnd(uint64_t NewAddr);
+
+  /// Signature of the devirtualized per-access fast path.
+  using AccessHookFn = void (*)(RuntimeObserver &Self, uint64_t Addr,
+                                uint64_t Size, bool IsStore);
+  /// Hook the runtime calls for every access when this is the *only*
+  /// attached observer (the profiling configuration). Concrete observers
+  /// return a thunk onto their non-virtual handler so the hot access path
+  /// pays one direct call instead of a virtual dispatch; the default
+  /// forwards to the virtual onAccess.
+  virtual AccessHookFn accessHook();
 };
 
 /// Aggregate event counters for a run.
@@ -107,11 +128,41 @@ public:
   void free(uint64_t Addr);
 
   // -- Data accesses and compute -----------------------------------------
-  void load(uint64_t Addr, uint64_t Size);
-  void store(uint64_t Addr, uint64_t Size);
+  /// load/store are the hottest events of a run; they are inline with a
+  /// branch-free-when-unobserved fast path so measurement runs (which
+  /// attach no observers) pay nothing for the observer mechanism.
+  void load(uint64_t Addr, uint64_t Size) {
+    ++Stats.Loads;
+    if (Memory)
+      Timing.addMemory(Memory->access(Addr, Size));
+    if (!Observers.empty())
+      notifyAccess(Addr, Size, /*IsStore=*/false);
+  }
+  void store(uint64_t Addr, uint64_t Size) {
+    ++Stats.Stores;
+    if (Memory)
+      Timing.addMemory(Memory->access(Addr, Size));
+    if (!Observers.empty())
+      notifyAccess(Addr, Size, /*IsStore=*/true);
+  }
   /// Accounts \p Cycles of pure compute (the non-memory-bound part of the
   /// workload; this is what makes povray/leela compute-bound in the model).
-  void compute(uint64_t Cycles) { Timing.addCompute(Cycles); }
+  void compute(uint64_t Cycles) {
+    Timing.addCompute(Cycles);
+    for (RuntimeObserver *Obs : Observers)
+      Obs->onCompute(Cycles);
+  }
+
+  // -- Replay ------------------------------------------------------------
+  /// Re-executes a recorded event trace on this runtime exactly as the
+  /// recorded workload run would have: calls/returns drive instrumentation
+  /// and the group state vector, allocations go to the serving allocator
+  /// (addresses are re-derived, so any allocator works), accesses drive the
+  /// attached memory hierarchy, and composite reallocs re-derive their
+  /// allocator-dependent copy traffic. On a fresh runtime the resulting
+  /// stats, timing, and memory counters are bit-identical to direct
+  /// execution of the recorded workload under the same configuration.
+  void replay(const EventTrace &Trace);
 
   // -- State -------------------------------------------------------------
   const Program &program() const { return Prog; }
@@ -137,6 +188,11 @@ private:
     int32_t Bit; ///< Group-state bit set on entry, or -1.
   };
 
+  /// Out-of-line observer dispatch for accesses: a single observer goes
+  /// through its devirtualized hook, multiple observers through the
+  /// virtual interface.
+  void notifyAccess(uint64_t Addr, uint64_t Size, bool IsStore);
+
   const Program &Prog;
   Allocator *Alloc;
   const InstrumentationPlan *Plan = nullptr;
@@ -146,6 +202,9 @@ private:
   RuntimeStats Stats;
   std::vector<FrameRecord> Stack;
   std::vector<RuntimeObserver *> Observers;
+  /// Cached devirtualized access hook; non-null iff exactly one observer
+  /// is attached.
+  RuntimeObserver::AccessHookFn SoleAccessHook = nullptr;
 };
 
 } // namespace halo

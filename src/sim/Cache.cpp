@@ -16,21 +16,37 @@ Cache::Cache(const CacheConfig &Config) : Config(Config) {
   Sets = static_cast<uint32_t>(Config.SizeBytes /
                                (uint64_t(Config.Ways) * Config.LineSize));
   assert(Sets > 0 && "cache has no sets");
+  while ((1u << LineShift) < Config.LineSize)
+    ++LineShift;
+  if (isPowerOfTwo(Sets)) {
+    SetShift = 0;
+    while ((1u << SetShift) < Sets)
+      ++SetShift;
+  }
   Ways.resize(uint64_t(Sets) * Config.Ways);
+  Mru.assign(Sets, 0);
 }
 
 bool Cache::access(uint64_t Addr) {
-  uint64_t Line = Addr / Config.LineSize;
-  uint32_t Set = static_cast<uint32_t>(Line % Sets);
-  uint64_t Tag = Line / Sets;
+  auto [Set, Tag] = locate(Addr);
   Way *Begin = &Ways[uint64_t(Set) * Config.Ways];
   ++Clock;
+
+  // Repeat hits on the most-recently-hit way dominate; one compare settles
+  // them without the scan.
+  Way *Last = Begin + Mru[Set];
+  if (Last->Valid && Last->Tag == Tag) {
+    Last->LastUse = Clock;
+    ++Hits;
+    return true;
+  }
 
   Way *Victim = Begin;
   for (Way *W = Begin; W != Begin + Config.Ways; ++W) {
     if (W->Valid && W->Tag == Tag) {
       W->LastUse = Clock;
       ++Hits;
+      Mru[Set] = static_cast<uint8_t>(W - Begin);
       return true;
     }
     if (!W->Valid)
@@ -42,13 +58,12 @@ bool Cache::access(uint64_t Addr) {
   Victim->Valid = true;
   Victim->Tag = Tag;
   Victim->LastUse = Clock;
+  Mru[Set] = static_cast<uint8_t>(Victim - Begin);
   return false;
 }
 
 bool Cache::contains(uint64_t Addr) const {
-  uint64_t Line = Addr / Config.LineSize;
-  uint32_t Set = static_cast<uint32_t>(Line % Sets);
-  uint64_t Tag = Line / Sets;
+  auto [Set, Tag] = locate(Addr);
   const Way *Begin = &Ways[uint64_t(Set) * Config.Ways];
   for (const Way *W = Begin; W != Begin + Config.Ways; ++W)
     if (W->Valid && W->Tag == Tag)
@@ -59,5 +74,6 @@ bool Cache::contains(uint64_t Addr) const {
 void Cache::reset() {
   for (Way &W : Ways)
     W = Way();
+  Mru.assign(Sets, 0);
   Clock = Hits = Misses = 0;
 }

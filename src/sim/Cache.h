@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace halo {
@@ -61,9 +62,25 @@ private:
     bool Valid = false;
   };
 
+  /// Set index and tag of \p Addr. Divisions on the per-access path are
+  /// precomputed into shifts where the geometry allows (the line size is
+  /// always a power of two; set counts are except for the L3's 36864).
+  std::pair<uint32_t, uint64_t> locate(uint64_t Addr) const {
+    uint64_t Line = Addr >> LineShift;
+    if (SetShift >= 0)
+      return {static_cast<uint32_t>(Line & (Sets - 1)), Line >> SetShift};
+    return {static_cast<uint32_t>(Line % Sets), Line / Sets};
+  }
+
   CacheConfig Config;
   uint32_t Sets;
-  std::vector<Way> Ways; ///< Sets * Config.Ways entries, set-major.
+  uint32_t LineShift = 0; ///< log2(LineSize).
+  int32_t SetShift = -1;  ///< log2(Sets), or -1 if Sets is not a power of 2.
+  std::vector<Way> Ways;  ///< Sets * Config.Ways entries, set-major.
+  /// Most-recently-hit way per set: a pure lookup hint (no effect on
+  /// hit/miss/LRU outcomes) that turns the common repeat-hit into a single
+  /// compare instead of a way scan.
+  std::vector<uint8_t> Mru;
   uint64_t Clock = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;

@@ -14,6 +14,8 @@ uint64_t MemoryHierarchy::access(uint64_t Addr, uint64_t Size) {
   uint64_t Line = Config.L1.LineSize;
   uint64_t First = Addr & ~(Line - 1);
   uint64_t Last = (Addr + Size - 1) & ~(Line - 1);
+  if (First == Last) // Overwhelmingly common: the access fits one line.
+    return accessLine(First);
   uint64_t Cycles = 0;
   for (uint64_t LineAddr = First;; LineAddr += Line) {
     Cycles += accessLine(LineAddr);

@@ -1,0 +1,125 @@
+//===- support/AddrMap.h - Open-addressed address-keyed map ----*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linear-probing, power-of-two open-addressed hash map from (non-zero)
+/// addresses to 32-bit values, with backward-shift deletion. The trace
+/// recorder sits on the per-event hot path of every recording run; its
+/// live-object base-address index through this map is several times
+/// cheaper than the node-based std::unordered_map (one flat probe, no
+/// allocation per insert, no bucket chains).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_ADDRMAP_H
+#define HALO_SUPPORT_ADDRMAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace halo {
+
+/// Hash map keyed by non-zero 64-bit addresses.
+class AddrMap {
+public:
+  explicit AddrMap(uint32_t InitialCapacity = 1024) {
+    uint32_t Cap = 16;
+    while (Cap < InitialCapacity)
+      Cap <<= 1;
+    Keys.assign(Cap, 0);
+    Values.resize(Cap);
+    Mask = Cap - 1;
+  }
+
+  /// Inserts \p Addr -> \p Value. \p Addr must be non-zero and not present.
+  void insert(uint64_t Addr, uint32_t Value) {
+    assert(Addr != 0 && "address keys must be non-zero");
+    if ((Count + 1) * 10 >= (Mask + 1) * 7) // Load factor 0.7.
+      grow();
+    uint32_t Slot = home(Addr);
+    while (Keys[Slot] != 0) {
+      assert(Keys[Slot] != Addr && "duplicate key");
+      Slot = (Slot + 1) & Mask;
+    }
+    Keys[Slot] = Addr;
+    Values[Slot] = Value;
+    ++Count;
+  }
+
+  /// Returns the value mapped to \p Addr, or nullptr.
+  const uint32_t *find(uint64_t Addr) const {
+    uint32_t Slot = home(Addr);
+    while (Keys[Slot] != 0) {
+      if (Keys[Slot] == Addr)
+        return &Values[Slot];
+      Slot = (Slot + 1) & Mask;
+    }
+    return nullptr;
+  }
+
+  /// Removes \p Addr; returns true if it was present. Backward-shift
+  /// deletion keeps probe chains intact without tombstones.
+  bool erase(uint64_t Addr) {
+    uint32_t Slot = home(Addr);
+    while (Keys[Slot] != Addr) {
+      if (Keys[Slot] == 0)
+        return false;
+      Slot = (Slot + 1) & Mask;
+    }
+    uint32_t Hole = Slot;
+    for (uint32_t Probe = Slot;;) {
+      Probe = (Probe + 1) & Mask;
+      if (Keys[Probe] == 0)
+        break;
+      uint32_t Home = home(Keys[Probe]);
+      // Move the probed entry into the hole unless its home lies in the
+      // cyclic interval (Hole, Probe] (then it is still reachable).
+      bool Reachable = Hole < Probe ? (Home > Hole && Home <= Probe)
+                                    : (Home > Hole || Home <= Probe);
+      if (!Reachable) {
+        Keys[Hole] = Keys[Probe];
+        Values[Hole] = Values[Probe];
+        Hole = Probe;
+      }
+    }
+    Keys[Hole] = 0;
+    --Count;
+    return true;
+  }
+
+  uint32_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+private:
+  uint32_t home(uint64_t Addr) const {
+    // Fibonacci hashing; addresses are at least 8-aligned, so mix before
+    // masking.
+    return static_cast<uint32_t>((Addr * 0x9E3779B97F4A7C15ull) >> 33) & Mask;
+  }
+
+  void grow() {
+    std::vector<uint64_t> OldKeys = std::move(Keys);
+    std::vector<uint32_t> OldValues = std::move(Values);
+    uint32_t Cap = (Mask + 1) * 2;
+    Keys.assign(Cap, 0);
+    Values.resize(Cap);
+    Mask = Cap - 1;
+    Count = 0;
+    for (uint32_t I = 0; I < OldKeys.size(); ++I)
+      if (OldKeys[I] != 0)
+        insert(OldKeys[I], OldValues[I]);
+  }
+
+  std::vector<uint64_t> Keys; ///< 0 = empty slot.
+  std::vector<uint32_t> Values;
+  uint32_t Mask = 0;
+  uint32_t Count = 0;
+};
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_ADDRMAP_H
