@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Runs the machine-readable benches and rewrites BENCH_pipeline.json at the
-# repo root in the stable schema
-#   {"bench", "nodes", "edges", "wall_ms", "trials"}
-# so successive PRs can track the perf trajectory. bench_grouping_scale
-# writes the file fresh; bench_replay appends its record/replay rows.
+# Runs the machine-readable benches and rewrites the perf trajectory files
+# at the repo root:
+#   BENCH_pipeline.json  {"bench", "nodes", "edges", "wall_ms", "trials"}
+#     bench_grouping_scale writes it fresh; bench_replay appends its
+#     record/replay rows.
+#   BENCH_machines.json  {"bench", "machine", "kind", "wall_ms", "trials"}
+#     (+ l1d_misses / tlb_misses / speedup_percent detail fields), the
+#     halo_cli cross-machine sweep: jemalloc/hds/halo medians on every
+#     machine preset.
+# so successive PRs can track the perf trajectory.
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: build)
 # HALO_BENCH_TRIALS overrides the per-config trial count.
@@ -16,14 +21,24 @@ case "$BUILD" in
   *) BUILD="$ROOT/$BUILD" ;;
 esac
 
-for Bench in bench_grouping_scale bench_replay; do
-  if [[ ! -x "$BUILD/bench/$Bench" ]]; then
-    echo "error: $BUILD/bench/$Bench not built; run: cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j" >&2
+for Bench in bench/bench_grouping_scale bench/bench_replay examples/halo_cli; do
+  if [[ ! -x "$BUILD/$Bench" ]]; then
+    echo "error: $BUILD/$Bench not built; run: cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j" >&2
     exit 1
   fi
 done
+
+TRIALS="${HALO_BENCH_TRIALS:-3}"
 
 "$BUILD/bench/bench_grouping_scale" "$ROOT/BENCH_pipeline.json"
 "$BUILD/bench/bench_replay" --append "$ROOT/BENCH_pipeline.json"
 echo "BENCH_pipeline.json updated:"
 cat "$ROOT/BENCH_pipeline.json"
+
+# Cross-machine sweep on two contrasting benchmarks (health: TLB-bound
+# pointer chasing; xalanc: deep call chains). Traces record once per
+# benchmark and replay on every machine preset.
+"$BUILD/examples/halo_cli" sweep health xalanc --trials "$TRIALS" \
+    --out "$ROOT/BENCH_machines.json"
+echo "BENCH_machines.json updated:"
+cat "$ROOT/BENCH_machines.json"

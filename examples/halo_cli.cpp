@@ -7,21 +7,32 @@
 // `plot` renders ASCII bar charts of the Figure 13/14 series. The
 // artefact's per-benchmark flags (A.8) are accepted too.
 //
-//   halo_cli baseline <benchmark> [--trials N] [--jobs N]
-//   halo_cli run <benchmark> [--trials N] [--jobs N] [--chunk-size BYTES]
-//            [--max-spare-chunks N] [--max-groups N] [--affinity-distance A]
-//   halo_cli hds <benchmark> [--trials N] [--jobs N]
+//   halo_cli baseline <benchmark> [--trials N] [--jobs N] [--machine NAME]
+//   halo_cli run <benchmark> [--trials N] [--jobs N] [--machine NAME]
+//            [--chunk-size BYTES] [--max-spare-chunks N] [--max-groups N]
+//            [--affinity-distance A]
+//   halo_cli hds <benchmark> [--trials N] [--jobs N] [--machine NAME]
 //   halo_cli trace <benchmark>       # record an event trace, print counts
-//   halo_cli plot [benchmark...] [--trials N] [--jobs N]
+//   halo_cli plot [benchmark...] [--trials N] [--jobs N] [--machine NAME]
+//   halo_cli machines                # list the machine presets
+//   halo_cli sweep [benchmark...] [--trials N] [--jobs N] [--out FILE]
 //
-// Trials are recorded once per seed into an event trace and measured by
-// replay, fanned out across --jobs worker threads (default: hardware
-// concurrency).
+// Measurements run on a simulated machine model (sim/Machine.h); --machine
+// selects a preset (default: xeon-w2195, the paper's evaluation machine).
+// `sweep` measures jemalloc/HDS/HALO on every preset (or just the one
+// --machine names) — the recorded traces and pipeline artifacts are
+// machine-independent, so each benchmark records once and replays per
+// machine — and writes the per-machine rows to BENCH_machines.json.
+// Trials are recorded once per seed into an event
+// trace and measured by replay, fanned out across --jobs worker threads;
+// `plot` additionally shards whole benchmarks across the same pool.
 //
 //===----------------------------------------------------------------------===//
 
 #include "eval/Evaluation.h"
+#include "eval/Report.h"
 #include "support/Format.h"
+#include "support/Stats.h"
 
 #include <cctype>
 #include <cerrno>
@@ -40,6 +51,8 @@ struct CliOptions {
   std::string Command;
   std::string Benchmark;
   std::vector<std::string> Benchmarks;
+  std::string Machine; ///< Empty = default preset.
+  std::string OutPath; ///< sweep: JSON output file ("" = stdout only).
   int Trials = 3;
   int Jobs = 0; ///< 0 = hardware concurrency.
   uint64_t ChunkSize = 0;
@@ -53,10 +66,16 @@ struct CliOptions {
       stderr,
       "usage: halo_cli <baseline|run|hds|trace> <benchmark> [flags]\n"
       "       halo_cli plot [benchmark...] [flags]\n"
-      "flags: --trials N  --jobs N  --chunk-size BYTES  --max-spare-chunks N\n"
-      "       --max-groups N  --affinity-distance BYTES\n"
+      "       halo_cli sweep [benchmark...] [flags]   # all machines -> JSON\n"
+      "       halo_cli machines                       # list machine presets\n"
+      "flags: --trials N  --jobs N  --machine NAME  --chunk-size BYTES\n"
+      "       --max-spare-chunks N  --max-groups N  --affinity-distance BYTES\n"
+      "       --out FILE (sweep)\n"
       "benchmarks:");
   for (const std::string &Name : workloadNames())
+    std::fprintf(stderr, " %s", Name.c_str());
+  std::fprintf(stderr, "\nmachines:");
+  for (const std::string &Name : machineNames())
     std::fprintf(stderr, " %s", Name.c_str());
   std::fprintf(stderr, "\n");
   std::exit(1);
@@ -96,9 +115,10 @@ CliOptions parseArgs(int Argc, char **Argv) {
   if (Argc < 2)
     usage();
   Opts.Command = Argv[1];
-  bool IsPlot = Opts.Command == "plot";
+  bool ListCommand = Opts.Command == "plot" || Opts.Command == "sweep" ||
+                     Opts.Command == "machines";
   int I = 2;
-  if (!IsPlot) {
+  if (!ListCommand) {
     if (Argc < 3 || Argv[2][0] == '-')
       usage();
     Opts.Benchmark = Argv[2];
@@ -117,6 +137,17 @@ CliOptions parseArgs(int Argc, char **Argv) {
     else if (Arg == "--jobs")
       Opts.Jobs =
           static_cast<int>(parseUnsigned(Arg, Value(), /*Min=*/1, INT_MAX));
+    else if (Arg == "--machine") {
+      Opts.Machine = Value();
+      if (!findMachine(Opts.Machine)) {
+        std::string Known;
+        for (const std::string &Name : machineNames())
+          Known += (Known.empty() ? "" : " ") + Name;
+        usageError("unknown machine '%s' (available: %s)",
+                   Opts.Machine.c_str(), Known.c_str());
+      }
+    } else if (Arg == "--out")
+      Opts.OutPath = Value();
     else if (Arg == "--chunk-size")
       Opts.ChunkSize = parseUnsigned(Arg, Value(), /*Min=*/1);
     else if (Arg == "--max-spare-chunks")
@@ -129,16 +160,27 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Opts.AffinityDistance = parseUnsigned(Arg, Value(), /*Min=*/1);
     else if (Arg[0] == '-')
       usageError("unknown flag '%s'", Arg.c_str());
-    else if (IsPlot)
+    else if (ListCommand && Opts.Command != "machines")
       Opts.Benchmarks.push_back(Arg);
     else
       usageError("unexpected argument '%s'", Arg.c_str());
   }
+  if (!Opts.OutPath.empty() && Opts.Command != "sweep")
+    usageError("--out is only valid with the sweep command%s", "");
   return Opts;
 }
 
-BenchmarkSetup setupFor(const CliOptions &Opts) {
-  BenchmarkSetup Setup = paperSetup(Opts.Benchmark);
+/// The machine the options name (parseArgs already rejected unknown names).
+const MachineConfig &machineFor(const CliOptions &Opts) {
+  if (Opts.Machine.empty())
+    return defaultMachine();
+  return *findMachine(Opts.Machine);
+}
+
+BenchmarkSetup setupFor(const CliOptions &Opts,
+                        const std::string &Benchmark) {
+  BenchmarkSetup Setup = paperSetup(Benchmark);
+  Setup.Machine = machineFor(Opts);
   if (Opts.ChunkSize) {
     Setup.Halo.Allocator.ChunkSize = Opts.ChunkSize;
     Setup.Hds.Allocator.ChunkSize = Opts.ChunkSize;
@@ -152,6 +194,10 @@ BenchmarkSetup setupFor(const CliOptions &Opts) {
   if (Opts.AffinityDistance)
     Setup.Halo.Profile.AffinityDistance = Opts.AffinityDistance;
   return Setup;
+}
+
+BenchmarkSetup setupFor(const CliOptions &Opts) {
+  return setupFor(Opts, Opts.Benchmark);
 }
 
 void printRunsJson(const std::string &Benchmark, const std::string &Config,
@@ -194,24 +240,149 @@ void asciiBar(const char *Label, double Percent, double FullScale) {
               "########################################");
 }
 
-int runPlot(const CliOptions &Opts) {
+/// Expands the requested benchmark list (empty = all) and validates names.
+std::vector<std::string> benchmarkList(const CliOptions &Opts) {
   std::vector<std::string> Names =
       Opts.Benchmarks.empty() ? workloadNames() : Opts.Benchmarks;
-  std::printf("HALO vs jemalloc (top: L1D miss reduction, bottom: "
+  for (const std::string &Name : Names)
+    if (!createWorkload(Name))
+      usageError("unknown benchmark '%s'", Name.c_str());
+  return Names;
+}
+
+int runPlot(const CliOptions &Opts) {
+  std::vector<std::string> Names = benchmarkList(Opts);
+  const MachineConfig &M = machineFor(Opts);
+  std::printf("HALO vs jemalloc on %s (top: L1D miss reduction, bottom: "
               "speedup), %d trial(s)\n\n",
-              Opts.Trials);
-  for (const std::string &Name : Names) {
-    if (!createWorkload(Name)) {
-      std::fprintf(stderr, "unknown benchmark '%s'\n", Name.c_str());
-      return 1;
-    }
-    ComparisonRow Row =
-        compareTechniques(Name, Opts.Trials, Scale::Ref, Opts.Jobs);
-    std::printf("%s\n", Name.c_str());
+              M.Name.c_str(), Opts.Trials);
+  // Whole benchmarks are sharded across the worker pool; rows come back in
+  // request order and bit-identical to a serial run.
+  std::vector<ComparisonRow> Rows =
+      compareAcrossBenchmarks(Names, Opts.Trials, Scale::Ref, Opts.Jobs, M);
+  for (const ComparisonRow &Row : Rows) {
+    std::printf("%s\n", Row.Benchmark.c_str());
     asciiBar("hds", Row.HdsMissReduction, 40.0);
     asciiBar("halo", Row.HaloMissReduction, 40.0);
     asciiBar("hds", Row.HdsSpeedup, 40.0);
     asciiBar("halo", Row.HaloSpeedup, 40.0);
+  }
+  return 0;
+}
+
+int runMachines() {
+  Report Table("Machine presets (sim/Machine.h)");
+  Table.setColumns({"machine", "geometry", "lat L1/L2/L3/mem/TLB",
+                    "description"});
+  for (const MachineConfig &M : machinePresets()) {
+    const LatencyModel &Lat = M.Hierarchy.Latency;
+    char LatBuf[64];
+    std::snprintf(LatBuf, sizeof(LatBuf), "%u/%u/%u/%u/%u", Lat.L1Hit,
+                  Lat.L2Hit, Lat.L3Hit, Lat.Memory, Lat.TlbMiss);
+    Table.addRow({M.Name, M.summary(), LatBuf, M.Description});
+  }
+  Table.addNote("default: " + defaultMachine().Name +
+                " (the paper's evaluation machine)");
+  Table.print();
+  return 0;
+}
+
+/// One BENCH_machines.json row: a (benchmark, machine, allocator kind)
+/// cell of the cross-machine sweep.
+struct SweepRow {
+  std::string Bench;
+  std::string Machine;
+  std::string Kind;
+  double WallMs;  ///< Median simulated run time on that machine, in ms.
+  int Trials;
+  double L1dMisses; ///< Median per-run L1D misses.
+  double TlbMisses; ///< Median per-run dTLB misses.
+  double SpeedupPercent; ///< vs jemalloc on the same machine (0 for it).
+};
+
+void writeSweepJson(const std::string &Path,
+                    const std::vector<SweepRow> &Rows) {
+  FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "halo_cli: cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::fputs("[\n", Out);
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const SweepRow &R = Rows[I];
+    std::fprintf(Out,
+                 "  {\"bench\": \"%s\", \"machine\": \"%s\", "
+                 "\"kind\": \"%s\", \"wall_ms\": %.6f, \"trials\": %d, "
+                 "\"l1d_misses\": %.0f, \"tlb_misses\": %.0f, "
+                 "\"speedup_percent\": %.4f}%s\n",
+                 R.Bench.c_str(), R.Machine.c_str(), R.Kind.c_str(),
+                 R.WallMs, R.Trials, R.L1dMisses, R.TlbMisses,
+                 R.SpeedupPercent, I + 1 < Rows.size() ? "," : "");
+  }
+  std::fputs("]\n", Out);
+  std::fclose(Out);
+}
+
+int runSweep(const CliOptions &Opts) {
+  std::vector<std::string> Names = benchmarkList(Opts);
+  // Default: every preset; --machine narrows the sweep to one.
+  std::vector<const MachineConfig *> Machines;
+  if (Opts.Machine.empty())
+    for (const MachineConfig &M : machinePresets())
+      Machines.push_back(&M);
+  else
+    Machines.push_back(&machineFor(Opts));
+  std::vector<SweepRow> Rows;
+
+  Report Table("Cross-machine sweep: median run time / misses per machine");
+  Table.setColumns({"bench", "machine", "kind", "wall_ms", "l1d_misses",
+                    "tlb_misses", "speedup%"});
+
+  const AllocatorKind Kinds[] = {AllocatorKind::Jemalloc, AllocatorKind::Hds,
+                                 AllocatorKind::Halo};
+  const char *KindNames[] = {"jemalloc", "hds", "halo"};
+
+  for (const std::string &Name : Names) {
+    // One Evaluation per benchmark: traces and pipeline artifacts are
+    // machine-independent, so every machine below replays the same
+    // per-seed recordings and shares one profiling pass.
+    Evaluation Eval(setupFor(Opts, Name));
+    for (const MachineConfig *MP : Machines) {
+      const MachineConfig &M = *MP;
+      double BaselineSeconds = 0.0;
+      for (size_t K = 0; K < 3; ++K) {
+        std::vector<RunMetrics> Runs = Eval.measureTrials(
+            M, Kinds[K], Scale::Ref, Opts.Trials, /*SeedBase=*/100,
+            Opts.Jobs);
+        double Seconds = Evaluation::medianSeconds(Runs);
+        if (K == 0)
+          BaselineSeconds = Seconds;
+        SweepRow Row;
+        Row.Bench = Name;
+        Row.Machine = M.Name;
+        Row.Kind = KindNames[K];
+        Row.WallMs = Seconds * 1e3;
+        Row.Trials = Opts.Trials;
+        Row.L1dMisses = Evaluation::medianL1Misses(Runs);
+        Row.TlbMisses = Evaluation::medianTlbMisses(Runs);
+        Row.SpeedupPercent =
+            K == 0 ? 0.0 : percentImprovement(BaselineSeconds, Seconds);
+        Table.addRow({Row.Bench, Row.Machine, Row.Kind,
+                      formatDouble(Row.WallMs, 3),
+                      formatDouble(Row.L1dMisses, 0),
+                      formatDouble(Row.TlbMisses, 0),
+                      formatDouble(Row.SpeedupPercent, 2)});
+        Rows.push_back(std::move(Row));
+      }
+    }
+  }
+
+  Table.addNote("wall_ms: median simulated run time on that machine; "
+                "speedup%: vs jemalloc on the same machine");
+  Table.print();
+  if (!Opts.OutPath.empty()) {
+    writeSweepJson(Opts.OutPath, Rows);
+    std::printf("wrote %s (%zu rows)\n", Opts.OutPath.c_str(), Rows.size());
   }
   return 0;
 }
@@ -247,8 +418,12 @@ int runTrace(const CliOptions &Opts) {
 
 int main(int Argc, char **Argv) {
   CliOptions Opts = parseArgs(Argc, Argv);
+  if (Opts.Command == "machines")
+    return runMachines();
   if (Opts.Command == "plot")
     return runPlot(Opts);
+  if (Opts.Command == "sweep")
+    return runSweep(Opts);
 
   if (!createWorkload(Opts.Benchmark)) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", Opts.Benchmark.c_str());

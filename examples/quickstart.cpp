@@ -85,11 +85,13 @@ int main() {
     std::printf("  group %zu selector: %s\n", G,
                 Art.Identification.Selectors[G].describe(Prog.P).c_str());
 
-  // 2. Measure baseline vs optimised on the simulated Xeon W-2195 caches.
+  // 2. Measure baseline vs optimised on the default machine preset (the
+  //    paper's Xeon W-2195; swap in any preset from machinePresets()).
+  const MachineConfig &Machine = defaultMachine();
   auto Measure = [&](bool UseHalo) {
-    MemoryHierarchy Mem;
+    MemoryHierarchy Mem(Machine.Hierarchy);
     SizeClassAllocator Backing;
-    Runtime RT(Prog.P, Backing);
+    Runtime RT(Prog.P, Backing, Machine.Costs);
     std::unique_ptr<SelectorGroupPolicy> Policy;
     std::unique_ptr<GroupAllocator> GA;
     if (UseHalo) {

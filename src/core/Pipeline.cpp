@@ -9,22 +9,24 @@ using namespace halo;
 
 HaloArtifacts
 halo::optimizeBinary(const Program &Prog, const EventTrace &Trace,
-                     const HaloParameters &Params) {
+                     const HaloParameters &Params,
+                     const MachineConfig &Machine) {
   return optimizeBinary(
-      Prog, [&](Runtime &RT) { RT.replay(Trace); }, Params);
+      Prog, [&](Runtime &RT) { RT.replay(Trace); }, Params, Machine);
 }
 
 HaloArtifacts
 halo::optimizeBinary(const Program &Prog,
                      const std::function<void(Runtime &)> &RunWorkload,
-                     const HaloParameters &Params) {
+                     const HaloParameters &Params,
+                     const MachineConfig &Machine) {
   HaloArtifacts Out;
 
   // Stage 1: profiling (Section 4.1). The profiled binary runs under the
   // default allocator; only the event stream matters here.
   {
     SizeClassAllocator ProfileAlloc;
-    Runtime RT(Prog, ProfileAlloc);
+    Runtime RT(Prog, ProfileAlloc, Machine.Costs);
     HeapProfiler Profiler(Prog, Params.Profile);
     RT.addObserver(&Profiler);
     RunWorkload(RT);

@@ -24,6 +24,7 @@
 #include "identify/Identify.h"
 #include "profile/HeapProfiler.h"
 #include "runtime/Runtime.h"
+#include "sim/Machine.h"
 
 #include <functional>
 #include <string>
@@ -58,18 +59,24 @@ struct HaloArtifacts {
 /// Runs the whole pipeline. \p RunWorkload executes the target program's
 /// profiling workload against the runtime it is handed (the paper uses the
 /// small test inputs for this); the runtime is wired to a default allocator
-/// and the heap profiler, standing in for the Pin tool.
+/// and the heap profiler, standing in for the Pin tool. \p Machine supplies
+/// the profiling runtime's cost model; the artifacts themselves depend only
+/// on the event stream, never on the machine, so one pipeline run serves
+/// measurements on every machine.
 HaloArtifacts optimizeBinary(const Program &Prog,
                              const std::function<void(Runtime &)> &RunWorkload,
-                             const HaloParameters &Params = HaloParameters());
+                             const HaloParameters &Params = HaloParameters(),
+                             const MachineConfig &Machine = defaultMachine());
 
 /// Same pipeline, driven by a pre-recorded event trace instead of
 /// re-executing the workload: the profiling stage replays \p Trace into the
 /// heap profiler, producing artifacts bit-identical to profiling the
 /// recorded run directly. This lets one recording feed both the HALO and
-/// hot-data-streams pipelines (and any number of parameter sweeps).
+/// hot-data-streams pipelines (and any number of parameter or machine
+/// sweeps).
 HaloArtifacts optimizeBinary(const Program &Prog, const EventTrace &Trace,
-                             const HaloParameters &Params = HaloParameters());
+                             const HaloParameters &Params = HaloParameters(),
+                             const MachineConfig &Machine = defaultMachine());
 
 } // namespace halo
 

@@ -43,15 +43,17 @@ Evaluation::Evaluation(BenchmarkSetup SetupIn) : Setup(std::move(SetupIn)) {
 
 const HaloArtifacts &Evaluation::haloArtifacts() {
   if (!HaloArt)
-    HaloArt = optimizeBinary(
-        Prog, trace(Setup.ProfileScale, Setup.ProfileSeed), Setup.Halo);
+    HaloArt = optimizeBinary(Prog,
+                             trace(Setup.ProfileScale, Setup.ProfileSeed),
+                             Setup.Halo, Setup.Machine);
   return *HaloArt;
 }
 
 const HdsArtifacts &Evaluation::hdsArtifacts() {
   if (!HdsArt)
-    HdsArt = optimizeBinaryHds(
-        Prog, trace(Setup.ProfileScale, Setup.ProfileSeed), Setup.Hds);
+    HdsArt = optimizeBinaryHds(Prog,
+                               trace(Setup.ProfileScale, Setup.ProfileSeed),
+                               Setup.Hds, Setup.Machine);
   return *HdsArt;
 }
 
@@ -83,20 +85,33 @@ const EventTrace &Evaluation::trace(Scale S, uint64_t Seed) {
 }
 
 RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
+  return measure(Setup.Machine, Kind, S, Seed);
+}
+
+RunMetrics Evaluation::measure(const MachineConfig &Machine,
+                               AllocatorKind Kind, Scale S, uint64_t Seed) {
   const EventTrace &Trace = trace(S, Seed);
-  return measureWith(Kind, Seed, [&](Runtime &RT) { RT.replay(Trace); });
+  return measureWith(Machine, Kind, Seed,
+                     [&](Runtime &RT) { RT.replay(Trace); });
 }
 
 RunMetrics Evaluation::measureDirect(AllocatorKind Kind, Scale S,
                                      uint64_t Seed) {
-  return measureWith(Kind, Seed,
+  return measureDirect(Setup.Machine, Kind, S, Seed);
+}
+
+RunMetrics Evaluation::measureDirect(const MachineConfig &Machine,
+                                     AllocatorKind Kind, Scale S,
+                                     uint64_t Seed) {
+  return measureWith(Machine, Kind, Seed,
                      [&](Runtime &RT) { W->run(RT, S, Seed); });
 }
 
 RunMetrics
-Evaluation::measureWith(AllocatorKind Kind, uint64_t Seed,
+Evaluation::measureWith(const MachineConfig &Machine, AllocatorKind Kind,
+                        uint64_t Seed,
                         const std::function<void(Runtime &)> &Drive) {
-  MemoryHierarchy Memory;
+  MemoryHierarchy Memory(Machine.Hierarchy);
   SizeClassAllocator Jemalloc;
   BoundaryTagAllocator Ptmalloc;
 
@@ -117,14 +132,14 @@ Evaluation::measureWith(AllocatorKind Kind, uint64_t Seed,
 
   switch (Kind) {
   case AllocatorKind::Jemalloc: {
-    Runtime RT(Prog, Jemalloc);
+    Runtime RT(Prog, Jemalloc, Machine.Costs);
     RT.setMemory(&Memory);
     Drive(RT);
     Finish(RT, nullptr);
     break;
   }
   case AllocatorKind::Ptmalloc: {
-    Runtime RT(Prog, Ptmalloc);
+    Runtime RT(Prog, Ptmalloc, Machine.Costs);
     RT.setMemory(&Memory);
     Drive(RT);
     Finish(RT, nullptr);
@@ -132,7 +147,7 @@ Evaluation::measureWith(AllocatorKind Kind, uint64_t Seed,
   }
   case AllocatorKind::RandomPools: {
     RandomPoolAllocator Pools(Jemalloc, /*Seed=*/Seed * 11 + 3);
-    Runtime RT(Prog, Pools);
+    Runtime RT(Prog, Pools, Machine.Costs);
     RT.setMemory(&Memory);
     Drive(RT);
     Finish(RT, nullptr);
@@ -140,7 +155,7 @@ Evaluation::measureWith(AllocatorKind Kind, uint64_t Seed,
   }
   case AllocatorKind::Halo: {
     const HaloArtifacts &Art = haloArtifacts();
-    Runtime RT(Prog, Jemalloc);
+    Runtime RT(Prog, Jemalloc, Machine.Costs);
     RT.setInstrumentation(&Art.Plan);
     SelectorGroupPolicy Policy(RT.groupState(), Art.CompiledSelectors);
     GroupAllocator Halo(Jemalloc, Policy, Setup.Halo.Allocator);
@@ -155,7 +170,7 @@ Evaluation::measureWith(AllocatorKind Kind, uint64_t Seed,
     SiteGroupPolicy Policy(Art.SiteToGroup,
                            static_cast<uint32_t>(Art.Groups.size()));
     GroupAllocator Hds(Jemalloc, Policy, Setup.Hds.Allocator);
-    Runtime RT(Prog, Hds);
+    Runtime RT(Prog, Hds, Machine.Costs);
     RT.setMemory(&Memory);
     Drive(RT);
     Finish(RT, &Hds);
@@ -163,7 +178,7 @@ Evaluation::measureWith(AllocatorKind Kind, uint64_t Seed,
   }
   case AllocatorKind::HaloInstrumentedOnly: {
     const HaloArtifacts &Art = haloArtifacts();
-    Runtime RT(Prog, Jemalloc);
+    Runtime RT(Prog, Jemalloc, Machine.Costs);
     RT.setInstrumentation(&Art.Plan);
     RT.setMemory(&Memory);
     Drive(RT);
@@ -186,6 +201,14 @@ std::vector<RunMetrics> Evaluation::measureTrials(AllocatorKind Kind, Scale S,
                                                   int Trials,
                                                   uint64_t SeedBase,
                                                   int Jobs) {
+  return measureTrials(Setup.Machine, Kind, S, Trials, SeedBase, Jobs);
+}
+
+std::vector<RunMetrics> Evaluation::measureTrials(const MachineConfig &Machine,
+                                                  AllocatorKind Kind, Scale S,
+                                                  int Trials,
+                                                  uint64_t SeedBase,
+                                                  int Jobs) {
   prepareArtifacts(Kind);
 
   unsigned Workers = Jobs > 0
@@ -197,7 +220,7 @@ std::vector<RunMetrics> Evaluation::measureTrials(AllocatorKind Kind, Scale S,
   std::vector<RunMetrics> Runs(std::max(Trials, 0));
   if (Workers <= 1) {
     for (int T = 0; T < Trials; ++T)
-      Runs[T] = measure(Kind, S, SeedBase + T);
+      Runs[T] = measure(Machine, Kind, S, SeedBase + T);
     return Runs;
   }
 
@@ -210,7 +233,7 @@ std::vector<RunMetrics> Evaluation::measureTrials(AllocatorKind Kind, Scale S,
   for (unsigned J = 0; J < Workers; ++J)
     Pool.emplace_back([&] {
       for (int T; (T = Next.fetch_add(1)) < Trials;)
-        Runs[T] = measure(Kind, S, SeedBase + T);
+        Runs[T] = measure(Machine, Kind, S, SeedBase + T);
     });
   for (std::thread &Worker : Pool)
     Worker.join();
@@ -231,9 +254,19 @@ double Evaluation::medianL1Misses(const std::vector<RunMetrics> &Runs) {
   return median(Values);
 }
 
+double Evaluation::medianTlbMisses(const std::vector<RunMetrics> &Runs) {
+  std::vector<double> Values;
+  for (const RunMetrics &R : Runs)
+    Values.push_back(static_cast<double>(R.Mem.TlbMisses));
+  return median(Values);
+}
+
 ComparisonRow halo::compareTechniques(const std::string &Benchmark,
-                                      int Trials, Scale S, int Jobs) {
-  Evaluation Eval(paperSetup(Benchmark));
+                                      int Trials, Scale S, int Jobs,
+                                      const MachineConfig &Machine) {
+  BenchmarkSetup Setup = paperSetup(Benchmark);
+  Setup.Machine = Machine;
+  Evaluation Eval(std::move(Setup));
   // The first configuration's trials record the per-seed traces (in
   // parallel); the other two replay them.
   auto Base = Eval.measureTrials(AllocatorKind::Jemalloc, S, Trials, 100,
@@ -252,4 +285,51 @@ ComparisonRow halo::compareTechniques(const std::string &Benchmark,
   Row.HaloSpeedup = percentImprovement(Evaluation::medianSeconds(Base),
                                        Evaluation::medianSeconds(Halo));
   return Row;
+}
+
+std::vector<ComparisonRow>
+halo::compareAcrossBenchmarks(const std::vector<std::string> &Benchmarks,
+                              int Trials, Scale S, int Jobs,
+                              const MachineConfig &Machine) {
+  std::vector<ComparisonRow> Rows(Benchmarks.size());
+  // One benchmark cannot be sharded any coarser, so spend the workers on
+  // its trials instead.
+  if (Benchmarks.size() == 1) {
+    Rows[0] = compareTechniques(Benchmarks[0], Trials, S, Jobs, Machine);
+    return Rows;
+  }
+
+  unsigned Workers = Jobs > 0
+                         ? static_cast<unsigned>(Jobs)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  unsigned Shards = Workers;
+  if (Shards > Benchmarks.size())
+    Shards = static_cast<unsigned>(Benchmarks.size());
+  // Surplus workers beyond the shard count go to trial-level fan-out
+  // inside each shard, so short benchmark lists still use the whole pool;
+  // trials are deterministic, so any split is bit-identical to serial.
+  const int InnerJobs = std::max(1u, Workers / std::max(Shards, 1u));
+  if (Shards <= 1) {
+    for (size_t B = 0; B < Benchmarks.size(); ++B)
+      Rows[B] = compareTechniques(Benchmarks[B], Trials, S, InnerJobs,
+                                  Machine);
+    return Rows;
+  }
+
+  // Benchmarks are independent Evaluations, so workers claim whole
+  // benchmarks off a shared counter; Shards * InnerJobs bounds total
+  // concurrency. Slot B always holds Benchmarks[B], and every row is
+  // bit-identical to the serial order.
+  std::atomic<size_t> Next{0};
+  std::vector<std::thread> Pool;
+  Pool.reserve(Shards);
+  for (unsigned J = 0; J < Shards; ++J)
+    Pool.emplace_back([&] {
+      for (size_t B; (B = Next.fetch_add(1)) < Benchmarks.size();)
+        Rows[B] = compareTechniques(Benchmarks[B], Trials, S, InnerJobs,
+                                    Machine);
+    });
+  for (std::thread &Worker : Pool)
+    Worker.join();
+  return Rows;
 }

@@ -8,9 +8,11 @@
 /// The measurement harness behind every table and figure of Section 5.
 /// An Evaluation wires one benchmark model to a program, runs the HALO and
 /// hot-data-streams pipelines on the small *test* inputs, and measures any
-/// allocator configuration on the larger *ref* inputs under the simulated
-/// Xeon W-2195 memory hierarchy -- mirroring the paper's methodology
-/// (repeated trials, medians, jemalloc default allocator everywhere).
+/// allocator configuration on the larger *ref* inputs under a simulated
+/// machine model (sim/Machine.h; the default preset is the paper's Xeon
+/// W-2195) -- mirroring the paper's methodology (repeated trials, medians,
+/// jemalloc default allocator everywhere), with the machine a first-class,
+/// sweepable part of the measurement key.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +21,7 @@
 
 #include "core/Pipeline.h"
 #include "hds/HdsPipeline.h"
+#include "sim/Machine.h"
 #include "trace/EventTrace.h"
 #include "workloads/Workload.h"
 
@@ -61,6 +64,12 @@ struct BenchmarkSetup {
   std::string Name;
   HaloParameters Halo;
   HdsParameters Hds;
+  /// The simulated hardware measurements run on. Part of the measurement
+  /// key: the same benchmark measured under two machines is two different
+  /// experiments. Cached traces and pipeline artifacts are machine-
+  /// independent, so the explicit-machine measure() overloads can sweep
+  /// machines against one Evaluation without re-recording or re-profiling.
+  MachineConfig Machine = defaultMachine();
   Scale ProfileScale = Scale::Test; ///< "Workloads are profiled on small
                                     ///< test inputs" (Section 5.1).
   uint64_t ProfileSeed = 1;
@@ -96,13 +105,24 @@ public:
   const EventTrace &trace(Scale S, uint64_t Seed);
 
   /// Measures one configuration on one input by replaying the cached
-  /// trace. Safe to call concurrently once the pipeline artifacts the kind
-  /// needs exist (measureTrials materialises them before fanning out).
+  /// trace, on the setup's machine. Safe to call concurrently once the
+  /// pipeline artifacts the kind needs exist (measureTrials materialises
+  /// them before fanning out).
   RunMetrics measure(AllocatorKind Kind, Scale S, uint64_t Seed);
+
+  /// Same, on an explicit machine: the recorded trace is machine-
+  /// independent and replays under \p Machine's hierarchy and costs. This
+  /// is the cross-machine sweep primitive (halo_cli sweep).
+  RunMetrics measure(const MachineConfig &Machine, AllocatorKind Kind,
+                     Scale S, uint64_t Seed);
 
   /// Reference path: measures by executing the workload model directly,
   /// without any trace. Kept as the oracle replay is tested against.
   RunMetrics measureDirect(AllocatorKind Kind, Scale S, uint64_t Seed);
+
+  /// Reference path on an explicit machine.
+  RunMetrics measureDirect(const MachineConfig &Machine, AllocatorKind Kind,
+                           Scale S, uint64_t Seed);
 
   /// Measures \p Trials runs with distinct seeds (the paper uses 11 trials
   /// and reports medians; seeds stand in for run-to-run variation).
@@ -112,16 +132,24 @@ public:
                                         int Trials, uint64_t SeedBase = 100,
                                         int Jobs = 0);
 
-  /// Median seconds / L1D misses over a set of runs.
+  /// Trial fan-out on an explicit machine.
+  std::vector<RunMetrics> measureTrials(const MachineConfig &Machine,
+                                        AllocatorKind Kind, Scale S,
+                                        int Trials, uint64_t SeedBase = 100,
+                                        int Jobs = 0);
+
+  /// Median seconds / L1D misses / dTLB misses over a set of runs.
   static double medianSeconds(const std::vector<RunMetrics> &Runs);
   static double medianL1Misses(const std::vector<RunMetrics> &Runs);
+  static double medianTlbMisses(const std::vector<RunMetrics> &Runs);
 
   const Program &program() const { return Prog; }
   const BenchmarkSetup &setup() const { return Setup; }
   Workload &workload() { return *W; }
 
 private:
-  RunMetrics measureWith(AllocatorKind Kind, uint64_t Seed,
+  RunMetrics measureWith(const MachineConfig &Machine, AllocatorKind Kind,
+                         uint64_t Seed,
                          const std::function<void(Runtime &)> &Drive);
   /// Materialises the artifacts \p Kind's measurement consults, so worker
   /// threads only ever read them.
@@ -147,11 +175,23 @@ struct ComparisonRow {
 };
 
 /// Runs baseline, HDS, and HALO trials for \p Benchmark and reduces them to
-/// the paper's two headline percentages. Each configuration replays the
-/// per-seed traces recorded by the first; \p Jobs fans trials out across
-/// worker threads (0 = hardware concurrency).
+/// the paper's two headline percentages, measured on \p Machine. Each
+/// configuration replays the per-seed traces recorded by the first; \p Jobs
+/// fans trials out across worker threads (0 = hardware concurrency).
 ComparisonRow compareTechniques(const std::string &Benchmark, int Trials,
-                                Scale S = Scale::Ref, int Jobs = 0);
+                                Scale S = Scale::Ref, int Jobs = 0,
+                                const MachineConfig &Machine =
+                                    defaultMachine());
+
+/// compareTechniques over a benchmark list, sharded across \p Jobs worker
+/// threads at benchmark granularity (each shard runs its trials serially,
+/// so the pool is never oversubscribed; a single benchmark falls back to
+/// trial-level fan-out). Row order follows \p Benchmarks and every row is
+/// bit-identical to the serial run — halo_cli plot's backing store.
+std::vector<ComparisonRow>
+compareAcrossBenchmarks(const std::vector<std::string> &Benchmarks,
+                        int Trials, Scale S = Scale::Ref, int Jobs = 0,
+                        const MachineConfig &Machine = defaultMachine());
 
 } // namespace halo
 

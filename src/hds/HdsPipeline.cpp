@@ -9,22 +9,24 @@ using namespace halo;
 
 HdsArtifacts
 halo::optimizeBinaryHds(const Program &Prog, const EventTrace &Trace,
-                        const HdsParameters &Params) {
+                        const HdsParameters &Params,
+                        const MachineConfig &Machine) {
   return optimizeBinaryHds(
-      Prog, [&](Runtime &RT) { RT.replay(Trace); }, Params);
+      Prog, [&](Runtime &RT) { RT.replay(Trace); }, Params, Machine);
 }
 
 HdsArtifacts
 halo::optimizeBinaryHds(const Program &Prog,
                         const std::function<void(Runtime &)> &RunWorkload,
-                        const HdsParameters &Params) {
+                        const HdsParameters &Params,
+                        const MachineConfig &Machine) {
   HdsArtifacts Out;
 
   ProfileOptions ProfOpts = Params.Profile;
   ProfOpts.RecordReferenceTrace = true;
 
   SizeClassAllocator ProfileAlloc;
-  Runtime RT(Prog, ProfileAlloc);
+  Runtime RT(Prog, ProfileAlloc, Machine.Costs);
   HeapProfiler Profiler(Prog, ProfOpts);
   RT.addObserver(&Profiler);
   RunWorkload(RT);

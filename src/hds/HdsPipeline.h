@@ -23,6 +23,7 @@
 #include "hds/HotStreams.h"
 #include "profile/HeapProfiler.h"
 #include "runtime/Runtime.h"
+#include "sim/Machine.h"
 
 #include <functional>
 #include <vector>
@@ -45,15 +46,19 @@ struct HdsArtifacts {
 };
 
 /// Profiles \p RunWorkload and derives the hot-data-streams placement
-/// policy (groups of malloc call sites).
+/// policy (groups of malloc call sites). \p Machine supplies the profiling
+/// runtime's cost model; like HALO's pipeline, the artifacts depend only on
+/// the event stream, never on the machine.
 HdsArtifacts optimizeBinaryHds(const Program &Prog,
                                const std::function<void(Runtime &)> &RunWorkload,
-                               const HdsParameters &Params = HdsParameters());
+                               const HdsParameters &Params = HdsParameters(),
+                               const MachineConfig &Machine = defaultMachine());
 
 /// Same pipeline, driven by a pre-recorded event trace (see the matching
 /// optimizeBinary overload): HALO and HDS can share one recording.
 HdsArtifacts optimizeBinaryHds(const Program &Prog, const EventTrace &Trace,
-                               const HdsParameters &Params = HdsParameters());
+                               const HdsParameters &Params = HdsParameters(),
+                               const MachineConfig &Machine = defaultMachine());
 
 } // namespace halo
 

@@ -27,6 +27,9 @@ RuntimeObserver::AccessHookFn RuntimeObserver::accessHook() {
 Runtime::Runtime(const Program &Prog, Allocator &Alloc)
     : Prog(Prog), Alloc(&Alloc) {}
 
+Runtime::Runtime(const Program &Prog, Allocator &Alloc, const CostModel &Costs)
+    : Prog(Prog), Alloc(&Alloc), Timing(Costs) {}
+
 void Runtime::setInstrumentation(const InstrumentationPlan *NewPlan) {
   assert(Stack.empty() && "cannot swap binaries mid-run");
   Plan = NewPlan;

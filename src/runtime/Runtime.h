@@ -80,7 +80,12 @@ struct RuntimeStats {
 class Runtime {
 public:
   /// \p Alloc serves every allocation of the run; both outlive the runtime.
+  /// Timing uses the default machine's cost model (sim/Machine.h).
   Runtime(const Program &Prog, Allocator &Alloc);
+
+  /// Same, but timing runs under \p Costs — the machine model's per-event
+  /// costs and clock (allocator calls, instrumentation ops, seconds()).
+  Runtime(const Program &Prog, Allocator &Alloc, const CostModel &Costs);
 
   /// Swaps the serving allocator before a run. This mirrors the paper's
   /// deployment, where the specialised allocator is linked in *after* the

@@ -11,6 +11,7 @@ using namespace halo;
 Cache::Cache(const CacheConfig &Config) : Config(Config) {
   assert(isPowerOfTwo(Config.LineSize) && "line size must be a power of two");
   assert(Config.Ways > 0 && "cache needs at least one way");
+  assert(Config.Ways <= 256 && "way index must fit the uint8_t MRU hint");
   assert(Config.SizeBytes % (uint64_t(Config.Ways) * Config.LineSize) == 0 &&
          "size must be divisible by way span");
   Sets = static_cast<uint32_t>(Config.SizeBytes /
@@ -23,57 +24,54 @@ Cache::Cache(const CacheConfig &Config) : Config(Config) {
     while ((1u << SetShift) < Sets)
       ++SetShift;
   }
-  Ways.resize(uint64_t(Sets) * Config.Ways);
+  Slots.assign(uint64_t(Sets) * Config.Ways, Slot{InvalidTag, 0});
   Mru.assign(Sets, 0);
 }
 
-bool Cache::access(uint64_t Addr) {
-  auto [Set, Tag] = locate(Addr);
-  Way *Begin = &Ways[uint64_t(Set) * Config.Ways];
+// Composing the two documented primitives keeps the fused MemoryHierarchy
+// fast path and plain accesses on one code path; the repeated locate() on
+// the miss side is noise next to the way scan that follows.
+bool Cache::access(uint64_t Addr) { return mruHit(Addr) || accessSlow(Addr); }
+
+bool Cache::scanInsert(uint32_t Set, uint64_t Tag) {
+  assert(Tag != InvalidTag && "address saturates the tag space");
+  const uint64_t Base = uint64_t(Set) * Config.Ways;
   ++Clock;
 
-  // Repeat hits on the most-recently-hit way dominate; one compare settles
-  // them without the scan.
-  Way *Last = Begin + Mru[Set];
-  if (Last->Valid && Last->Tag == Tag) {
-    Last->LastUse = Clock;
-    ++Hits;
-    return true;
-  }
-
-  Way *Victim = Begin;
-  for (Way *W = Begin; W != Begin + Config.Ways; ++W) {
-    if (W->Valid && W->Tag == Tag) {
-      W->LastUse = Clock;
+  // One pass finds both a hit and the LRU victim. Empty slots carry use
+  // clock 0, below every live clock (clocks start at 1), so they fill
+  // before any live way is evicted -- same outcomes as an explicit
+  // valid-bit scan, without a third field.
+  Slot *Begin = &Slots[Base];
+  Slot *Victim = Begin;
+  for (Slot *S = Begin; S != Begin + Config.Ways; ++S) {
+    if (S->Tag == Tag) {
+      S->Use = Clock;
       ++Hits;
-      Mru[Set] = static_cast<uint8_t>(W - Begin);
+      Mru[Set] = static_cast<uint8_t>(S - Begin);
       return true;
     }
-    if (!W->Valid)
-      Victim = W; // Prefer filling an invalid way.
-    else if (Victim->Valid && W->LastUse < Victim->LastUse)
-      Victim = W;
+    if (S->Use < Victim->Use)
+      Victim = S;
   }
   ++Misses;
-  Victim->Valid = true;
   Victim->Tag = Tag;
-  Victim->LastUse = Clock;
+  Victim->Use = Clock;
   Mru[Set] = static_cast<uint8_t>(Victim - Begin);
   return false;
 }
 
 bool Cache::contains(uint64_t Addr) const {
   auto [Set, Tag] = locate(Addr);
-  const Way *Begin = &Ways[uint64_t(Set) * Config.Ways];
-  for (const Way *W = Begin; W != Begin + Config.Ways; ++W)
-    if (W->Valid && W->Tag == Tag)
+  const Slot *Begin = &Slots[uint64_t(Set) * Config.Ways];
+  for (const Slot *S = Begin; S != Begin + Config.Ways; ++S)
+    if (S->Tag == Tag)
       return true;
   return false;
 }
 
 void Cache::reset() {
-  for (Way &W : Ways)
-    W = Way();
+  Slots.assign(Slots.size(), Slot{InvalidTag, 0});
   Mru.assign(Sets, 0);
   Clock = Hits = Misses = 0;
 }

@@ -7,7 +7,8 @@
 /// \file
 /// A set-associative, LRU, write-allocate cache model. The evaluation's
 /// memory hierarchy (sim/MemoryHierarchy.h) stacks three of these with the
-/// geometry of the paper's Xeon W-2195 (32 KiB L1D, 1 MiB L2, 24.75 MiB L3).
+/// geometry of a named machine preset (sim/Machine.h); the default is the
+/// paper's Xeon W-2195 (32 KiB L1D, 1 MiB L2, 24.75 MiB L3).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,28 +16,58 @@
 #define HALO_SIM_CACHE_H
 
 #include <cstdint>
-#include <string>
 #include <utility>
 #include <vector>
 
 namespace halo {
 
-/// Geometry of one cache level.
+/// Geometry of one cache level. A plain value type with nothing heap-owned
+/// in it: Cache objects live on the simulator's hottest path, and level
+/// names belong to the machine presets (sim/Machine.h), not in here.
 struct CacheConfig {
   uint64_t SizeBytes = 32 * 1024;
   uint32_t Ways = 8;
   uint32_t LineSize = 64;
-  std::string Name = "cache";
 };
 
 /// One level of set-associative cache with true-LRU replacement.
+///
+/// Per-way metadata is packed into one flat array of 16-byte slots sized
+/// from the config (tag + LRU clock, no valid flag, no name), so a slot is
+/// a power-of-two stride, an MRU hit touches a single host cache line, and
+/// a set scan spans a third fewer lines than the old 24-byte Way struct.
 class Cache {
 public:
   explicit Cache(const CacheConfig &Config);
 
   /// Looks up the line containing \p Addr, inserting it on a miss (evicting
-  /// the LRU way). Returns true on hit.
+  /// the LRU way). Returns true on hit. Repeat hits on the most-recently-hit
+  /// way dominate; one compare settles them without the scan.
   bool access(uint64_t Addr);
+
+  /// Fast-path-only probe of the most-recently-hit way: commits the access
+  /// (hit counter, LRU clock) when it matches and returns true; on mismatch
+  /// touches nothing and returns false, in which case the caller must finish
+  /// the access with accessSlow(). MemoryHierarchy fuses the TLB and L1
+  /// probes on its single-line fast path through this.
+  bool mruHit(uint64_t Addr) {
+    auto [Set, Tag] = locate(Addr);
+    Slot &S = Slots[uint64_t(Set) * Config.Ways + Mru[Set]];
+    if (S.Tag == Tag) {
+      S.Use = ++Clock;
+      ++Hits;
+      return true;
+    }
+    return false;
+  }
+
+  /// Completes an access whose mruHit() probe returned false: the full way
+  /// scan without re-probing the MRU hint. access(Addr) is equivalent to
+  /// `mruHit(Addr) || accessSlow(Addr)`.
+  bool accessSlow(uint64_t Addr) {
+    auto [Set, Tag] = locate(Addr);
+    return scanInsert(Set, Tag);
+  }
 
   /// Returns true if the line containing \p Addr is currently cached,
   /// without updating replacement state (for tests).
@@ -56,15 +87,21 @@ public:
   uint32_t numSets() const { return Sets; }
 
 private:
-  struct Way {
-    uint64_t Tag = ~0ull;
-    uint64_t LastUse = 0;
-    bool Valid = false;
+  /// One way's packed metadata: a power-of-two stride (the old Way struct
+  /// was 24 bytes with a padding-swollen valid flag).
+  struct Slot {
+    uint64_t Tag;
+    uint64_t Use; ///< LRU clock; 0 = never filled (live clocks start at 1).
   };
+
+  /// Empty-slot tag marker. No simulated address reaches it: a real tag of
+  /// ~0 would need an address within a line span of 2^64.
+  static constexpr uint64_t InvalidTag = ~0ull;
 
   /// Set index and tag of \p Addr. Divisions on the per-access path are
   /// precomputed into shifts where the geometry allows (the line size is
-  /// always a power of two; set counts are except for the L3's 36864).
+  /// always a power of two; set counts are except for e.g. the W-2195 L3's
+  /// 36864).
   std::pair<uint32_t, uint64_t> locate(uint64_t Addr) const {
     uint64_t Line = Addr >> LineShift;
     if (SetShift >= 0)
@@ -72,11 +109,16 @@ private:
     return {static_cast<uint32_t>(Line % Sets), Line / Sets};
   }
 
+  /// Full way scan after an MRU mismatch: hit anywhere in the set, or evict
+  /// the LRU way (empty slots have use clock 0, so they lose every LRU
+  /// comparison and fill first).
+  bool scanInsert(uint32_t Set, uint64_t Tag);
+
   CacheConfig Config;
   uint32_t Sets;
   uint32_t LineShift = 0; ///< log2(LineSize).
   int32_t SetShift = -1;  ///< log2(Sets), or -1 if Sets is not a power of 2.
-  std::vector<Way> Ways;  ///< Sets * Config.Ways entries, set-major.
+  std::vector<Slot> Slots; ///< Sets * Ways slots, set-major.
   /// Most-recently-hit way per set: a pure lookup hint (no effect on
   /// hit/miss/LRU outcomes) that turns the common repeat-hit into a single
   /// compare instead of a way scan.

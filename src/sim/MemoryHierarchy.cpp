@@ -5,17 +5,29 @@
 using namespace halo;
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config)
-    : Config(Config), L1(Config.L1), L2(Config.L2), L3(Config.L3),
+    : Config(Config), LineMask(uint64_t(Config.L1.LineSize) - 1),
+      L1(Config.L1), L2(Config.L2), L3(Config.L3),
       Dtlb(Config.TlbEntries, Config.TlbWays) {}
 
 uint64_t MemoryHierarchy::access(uint64_t Addr, uint64_t Size) {
-  if (Size == 0)
-    Size = 1;
-  uint64_t Line = Config.L1.LineSize;
-  uint64_t First = Addr & ~(Line - 1);
-  uint64_t Last = (Addr + Size - 1) & ~(Line - 1);
+  uint64_t First = Addr & ~LineMask;
+  uint64_t Last = (Addr + (Size ? Size : 1) - 1) & ~LineMask;
   if (First == Last) // Overwhelmingly common: the access fits one line.
     return accessLine(First);
+  return accessSpan(First, Last);
+}
+
+uint64_t MemoryHierarchy::accessLine(uint64_t LineAddr) {
+  bool TlbHit = Dtlb.mruHit(LineAddr);
+  if (TlbHit && L1.mruHit(LineAddr)) {
+    Stalls += Config.Latency.L1Hit;
+    return Config.Latency.L1Hit;
+  }
+  return accessLineSlow(LineAddr, TlbHit);
+}
+
+uint64_t MemoryHierarchy::accessSpan(uint64_t First, uint64_t Last) {
+  uint64_t Line = Config.L1.LineSize;
   uint64_t Cycles = 0;
   for (uint64_t LineAddr = First;; LineAddr += Line) {
     Cycles += accessLine(LineAddr);
@@ -25,12 +37,20 @@ uint64_t MemoryHierarchy::access(uint64_t Addr, uint64_t Size) {
   return Cycles;
 }
 
-uint64_t MemoryHierarchy::accessLine(uint64_t LineAddr) {
+uint64_t MemoryHierarchy::accessLineSlow(uint64_t LineAddr, bool TlbDone) {
   const LatencyModel &Lat = Config.Latency;
   uint64_t Cycles = 0;
-  if (!Dtlb.access(LineAddr))
-    Cycles += Lat.TlbMiss;
-  if (L1.access(LineAddr))
+  bool L1Hit;
+  if (TlbDone) {
+    // The fused fast path already committed the TLB hit and found the L1
+    // MRU way cold; finish the L1 access with the scan alone.
+    L1Hit = L1.accessSlow(LineAddr);
+  } else {
+    if (!Dtlb.accessSlow(LineAddr))
+      Cycles += Lat.TlbMiss;
+    L1Hit = L1.access(LineAddr);
+  }
+  if (L1Hit)
     Cycles += Lat.L1Hit;
   else if (L2.access(LineAddr))
     Cycles += Lat.L2Hit;

@@ -5,11 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Three cache levels plus a data TLB with a simple latency model. Default
-/// geometry matches the paper's evaluation machine (Intel Xeon W-2195):
-/// 32 KiB per-core L1D, 1024 KiB per-core L2, 25344 KiB shared L3.
-/// Workloads are single-threaded, as in the paper, so no coherence is
-/// modelled.
+/// Three cache levels plus a data TLB with a simple latency model. The
+/// geometry comes from a HierarchyConfig — usually one bundled in a machine
+/// preset (sim/Machine.h); the default matches the paper's evaluation
+/// machine (Intel Xeon W-2195): 32 KiB per-core L1D, 1024 KiB per-core L2,
+/// 25344 KiB shared L3. Workloads are single-threaded, as in the paper, so
+/// no coherence is modelled.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,7 +24,7 @@
 
 namespace halo {
 
-/// Cycle costs of each level. Values approximate Skylake-SP.
+/// Cycle costs of each level. Default values approximate Skylake-SP.
 struct LatencyModel {
   uint32_t L1Hit = 4;
   uint32_t L2Hit = 14;
@@ -34,9 +35,9 @@ struct LatencyModel {
 
 /// Geometry of the whole hierarchy.
 struct HierarchyConfig {
-  CacheConfig L1{32 * 1024, 8, 64, "L1D"};
-  CacheConfig L2{1024 * 1024, 16, 64, "L2"};
-  CacheConfig L3{25344 * 1024, 11, 64, "L3"};
+  CacheConfig L1{32 * 1024, 8, 64};
+  CacheConfig L2{1024 * 1024, 16, 64};
+  CacheConfig L3{25344 * 1024, 11, 64};
   uint32_t TlbEntries = 64;
   uint32_t TlbWays = 4;
   LatencyModel Latency;
@@ -72,9 +73,21 @@ public:
   const Tlb &tlb() const { return Dtlb; }
 
 private:
+  /// Fused TLB+L1 lookup: the dominant outcome — both the TLB's and the
+  /// L1's most-recently-used entries hit — resolves with two inline tag
+  /// compares and no further calls; everything else takes the out-of-line
+  /// walk. Defined in the .cpp (callers all live there) so the fast path
+  /// inlines into access() without bloating every load/store site.
   uint64_t accessLine(uint64_t LineAddr);
 
+  /// Completes an access whose fused fast path missed. \p TlbDone tells
+  /// whether the TLB already committed a hit on the fast path (it must be
+  /// consulted exactly once per line).
+  uint64_t accessLineSlow(uint64_t LineAddr, bool TlbDone);
+  uint64_t accessSpan(uint64_t First, uint64_t Last);
+
   HierarchyConfig Config;
+  uint64_t LineMask; ///< L1.LineSize - 1 (line size is a power of two).
   Cache L1, L2, L3;
   Tlb Dtlb;
   uint64_t Stalls = 0;

@@ -5,7 +5,4 @@
 using namespace halo;
 
 Tlb::Tlb(uint32_t NumEntries, uint32_t Ways, uint32_t PageSize)
-    : Entries(CacheConfig{uint64_t(NumEntries) * PageSize, Ways, PageSize,
-                          "dtlb"}) {}
-
-bool Tlb::access(uint64_t Addr) { return Entries.access(Addr); }
+    : Entries(CacheConfig{uint64_t(NumEntries) * PageSize, Ways, PageSize}) {}

@@ -8,7 +8,7 @@
 using namespace halo;
 
 TEST(Cache, FirstAccessMissesSecondHits) {
-  Cache C(CacheConfig{1024, 2, 64, "t"});
+  Cache C(CacheConfig{1024, 2, 64});
   EXPECT_FALSE(C.access(0));
   EXPECT_TRUE(C.access(0));
   EXPECT_TRUE(C.access(63)); // Same line.
@@ -19,7 +19,7 @@ TEST(Cache, FirstAccessMissesSecondHits) {
 
 TEST(Cache, LruEvictionOrder) {
   // 2-way, 64B lines, 2 sets -> set stride 128.
-  Cache C(CacheConfig{256, 2, 64, "t"});
+  Cache C(CacheConfig{256, 2, 64});
   C.access(0);   // Set 0, tag A.
   C.access(128); // Set 0, tag B.
   C.access(0);   // Touch A: B becomes LRU.
@@ -30,7 +30,7 @@ TEST(Cache, LruEvictionOrder) {
 }
 
 TEST(Cache, SetsAreIndependent) {
-  Cache C(CacheConfig{256, 2, 64, "t"});
+  Cache C(CacheConfig{256, 2, 64});
   C.access(0);  // Set 0.
   C.access(64); // Set 1.
   EXPECT_TRUE(C.contains(0));
@@ -38,7 +38,7 @@ TEST(Cache, SetsAreIndependent) {
 }
 
 TEST(Cache, WorkingSetLargerThanCacheThrashes) {
-  Cache C(CacheConfig{32 * 1024, 8, 64, "t"});
+  Cache C(CacheConfig{32 * 1024, 8, 64});
   // Two passes over 64 KiB: every access misses (LRU, sequential).
   for (int Pass = 0; Pass < 2; ++Pass)
     for (uint64_t Addr = 0; Addr < 64 * 1024; Addr += 64)
@@ -48,7 +48,7 @@ TEST(Cache, WorkingSetLargerThanCacheThrashes) {
 }
 
 TEST(Cache, WorkingSetFittingCacheHitsOnSecondPass) {
-  Cache C(CacheConfig{32 * 1024, 8, 64, "t"});
+  Cache C(CacheConfig{32 * 1024, 8, 64});
   for (int Pass = 0; Pass < 2; ++Pass)
     for (uint64_t Addr = 0; Addr < 16 * 1024; Addr += 64)
       C.access(Addr);
@@ -57,7 +57,7 @@ TEST(Cache, WorkingSetFittingCacheHitsOnSecondPass) {
 }
 
 TEST(Cache, ResetClearsContentsAndCounters) {
-  Cache C(CacheConfig{1024, 2, 64, "t"});
+  Cache C(CacheConfig{1024, 2, 64});
   C.access(0);
   C.reset();
   EXPECT_EQ(C.accesses(), 0u);
@@ -66,7 +66,7 @@ TEST(Cache, ResetClearsContentsAndCounters) {
 
 TEST(Cache, NonPowerOfTwoSetCount) {
   // 25344 KiB / 11 ways / 64B lines = 36864 sets, like the W-2195 L3.
-  Cache C(CacheConfig{25344 * 1024, 11, 64, "L3"});
+  Cache C(CacheConfig{25344 * 1024, 11, 64});
   EXPECT_EQ(C.numSets(), 36864u);
   EXPECT_FALSE(C.access(1234567));
   EXPECT_TRUE(C.access(1234567));

@@ -66,7 +66,7 @@ struct CacheGeometry {
 class CacheGeometrySweep : public ::testing::TestWithParam<CacheGeometry> {};
 
 TEST_P(CacheGeometrySweep, HitRateInvariants) {
-  Cache C(CacheConfig{GetParam().Size, GetParam().Ways, 64, "sweep"});
+  Cache C(CacheConfig{GetParam().Size, GetParam().Ways, 64});
   Rng Random(GetParam().Size ^ GetParam().Ways);
   uint64_t Accesses = 4000;
   for (uint64_t I = 0; I < Accesses; ++I)
