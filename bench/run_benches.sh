@@ -3,7 +3,10 @@
 # at the repo root:
 #   BENCH_pipeline.json  {"bench", "nodes", "edges", "wall_ms", "trials"}
 #     bench_grouping_scale writes it fresh; bench_replay appends its
-#     record/replay rows.
+#     record/replay rows: replay_record_* / replay_direct_* /
+#     replay_replay_* (a per-event replay loop kept in the bench as the
+#     baseline) / replay_batched_* (the in-tree batched Runtime::replay --
+#     the row set that tracks the batching win per PR).
 #   BENCH_machines.json  {"bench", "machine", "kind", "wall_ms", "trials"}
 #     (+ l1d_misses / tlb_misses / speedup_percent detail fields), the
 #     halo_cli cross-machine sweep: jemalloc/hds/halo medians on every

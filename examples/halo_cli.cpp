@@ -40,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -110,6 +111,16 @@ uint64_t parseUnsigned(const std::string &Flag, const char *Text,
   return Value;
 }
 
+/// The one --jobs handler, shared by every subcommand: a strict numeric
+/// worker count, where 0 explicitly requests the "pick for me" default.
+/// What that default means -- hardware concurrency, never less than one
+/// -- is decided in exactly one place, halo::resolveJobs
+/// (support/Executor.h), which every parallel path in the library
+/// consults too.
+int parseJobs(const std::string &Flag, const char *Text) {
+  return static_cast<int>(parseUnsigned(Flag, Text, /*Min=*/0, INT_MAX));
+}
+
 CliOptions parseArgs(int Argc, char **Argv) {
   CliOptions Opts;
   if (Argc < 2)
@@ -135,8 +146,7 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Opts.Trials =
           static_cast<int>(parseUnsigned(Arg, Value(), /*Min=*/1, INT_MAX));
     else if (Arg == "--jobs")
-      Opts.Jobs =
-          static_cast<int>(parseUnsigned(Arg, Value(), /*Min=*/1, INT_MAX));
+      Opts.Jobs = parseJobs(Arg, Value());
     else if (Arg == "--machine") {
       Opts.Machine = Value();
       if (!findMachine(Opts.Machine)) {
@@ -338,42 +348,58 @@ int runSweep(const CliOptions &Opts) {
   Table.setColumns({"bench", "machine", "kind", "wall_ms", "l1d_misses",
                     "tlb_misses", "speedup%"});
 
-  const AllocatorKind Kinds[] = {AllocatorKind::Jemalloc, AllocatorKind::Hds,
-                                 AllocatorKind::Halo};
-  const char *KindNames[] = {"jemalloc", "hds", "halo"};
+  auto KindName = [](AllocatorKind Kind) {
+    switch (Kind) {
+    case AllocatorKind::Jemalloc:
+      return "jemalloc";
+    case AllocatorKind::Hds:
+      return "hds";
+    case AllocatorKind::Halo:
+      return "halo";
+    default:
+      return "?";
+    }
+  };
 
   for (const std::string &Name : Names) {
     // One Evaluation per benchmark: traces and pipeline artifacts are
-    // machine-independent, so every machine below replays the same
-    // per-seed recordings and shares one profiling pass.
+    // machine-independent, so every machine replays the same per-seed
+    // recordings and shares one profiling pass. sweepMachines fans the
+    // per-machine loop (and trial fan-out inside it) across the worker
+    // pool; cells come back machine-major in preset order, bit-identical
+    // to a serial sweep.
     Evaluation Eval(setupFor(Opts, Name));
-    for (const MachineConfig *MP : Machines) {
-      const MachineConfig &M = *MP;
-      double BaselineSeconds = 0.0;
-      for (size_t K = 0; K < 3; ++K) {
-        std::vector<RunMetrics> Runs = Eval.measureTrials(
-            M, Kinds[K], Scale::Ref, Opts.Trials, /*SeedBase=*/100,
-            Opts.Jobs);
-        double Seconds = Evaluation::medianSeconds(Runs);
-        if (K == 0)
-          BaselineSeconds = Seconds;
-        SweepRow Row;
-        Row.Bench = Name;
-        Row.Machine = M.Name;
-        Row.Kind = KindNames[K];
-        Row.WallMs = Seconds * 1e3;
-        Row.Trials = Opts.Trials;
-        Row.L1dMisses = Evaluation::medianL1Misses(Runs);
-        Row.TlbMisses = Evaluation::medianTlbMisses(Runs);
-        Row.SpeedupPercent =
-            K == 0 ? 0.0 : percentImprovement(BaselineSeconds, Seconds);
-        Table.addRow({Row.Bench, Row.Machine, Row.Kind,
-                      formatDouble(Row.WallMs, 3),
-                      formatDouble(Row.L1dMisses, 0),
-                      formatDouble(Row.TlbMisses, 0),
-                      formatDouble(Row.SpeedupPercent, 2)});
-        Rows.push_back(std::move(Row));
-      }
+    std::vector<SweepCell> Cells = sweepMachines(
+        Eval, Machines, Opts.Trials, Scale::Ref, /*SeedBase=*/100,
+        Opts.Jobs);
+    // speedup% compares each cell against its machine's jemalloc cell;
+    // identified by Kind, not by position, so the cell layout is free to
+    // change without mislabelling rows.
+    std::map<const MachineConfig *, double> BaselineSeconds;
+    for (const SweepCell &Cell : Cells)
+      if (Cell.Kind == AllocatorKind::Jemalloc)
+        BaselineSeconds[Cell.Machine] = Evaluation::medianSeconds(Cell.Runs);
+    for (const SweepCell &Cell : Cells) {
+      double Seconds = Evaluation::medianSeconds(Cell.Runs);
+      SweepRow Row;
+      Row.Bench = Name;
+      Row.Machine = Cell.Machine->Name;
+      Row.Kind = KindName(Cell.Kind);
+      Row.WallMs = Seconds * 1e3;
+      Row.Trials = Opts.Trials;
+      Row.L1dMisses = Evaluation::medianL1Misses(Cell.Runs);
+      Row.TlbMisses = Evaluation::medianTlbMisses(Cell.Runs);
+      Row.SpeedupPercent =
+          Cell.Kind == AllocatorKind::Jemalloc
+              ? 0.0
+              : percentImprovement(BaselineSeconds.at(Cell.Machine),
+                                   Seconds);
+      Table.addRow({Row.Bench, Row.Machine, Row.Kind,
+                    formatDouble(Row.WallMs, 3),
+                    formatDouble(Row.L1dMisses, 0),
+                    formatDouble(Row.TlbMisses, 0),
+                    formatDouble(Row.SpeedupPercent, 2)});
+      Rows.push_back(std::move(Row));
     }
   }
 

@@ -71,9 +71,13 @@ HaloArtifacts optimizeBinary(const Program &Prog,
 /// Same pipeline, driven by a pre-recorded event trace instead of
 /// re-executing the workload: the profiling stage replays \p Trace into the
 /// heap profiler, producing artifacts bit-identical to profiling the
-/// recorded run directly. This lets one recording feed both the HALO and
+/// recorded run directly. Replay feeds the profiler through its batched
+/// observer hook (RuntimeObserver::onAccessBatch) -- one dispatch per run
+/// of consecutive accesses. This lets one recording feed both the HALO and
 /// hot-data-streams pipelines (and any number of parameter or machine
-/// sweeps).
+/// sweeps); the two pipelines share no mutable state, so
+/// Evaluation::prepareAllArtifacts materialises them as parallel executor
+/// tasks.
 HaloArtifacts optimizeBinary(const Program &Prog, const EventTrace &Trace,
                              const HaloParameters &Params = HaloParameters(),
                              const MachineConfig &Machine = defaultMachine());

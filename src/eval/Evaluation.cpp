@@ -5,11 +5,11 @@
 #include "mem/BoundaryTagAllocator.h"
 #include "mem/RandomPoolAllocator.h"
 #include "mem/SizeClassAllocator.h"
+#include "support/Executor.h"
 #include "support/Stats.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cassert>
-#include <thread>
 
 using namespace halo;
 
@@ -204,6 +204,29 @@ std::vector<RunMetrics> Evaluation::measureTrials(AllocatorKind Kind, Scale S,
   return measureTrials(Setup.Machine, Kind, S, Trials, SeedBase, Jobs);
 }
 
+void Evaluation::recordTraces(Scale S, int Trials, uint64_t SeedBase,
+                              int Jobs) {
+  if (Trials <= 0)
+    return;
+  Executor Pool(static_cast<int>(std::min<uint64_t>(
+      resolveJobs(Jobs), static_cast<uint64_t>(Trials))));
+  Pool.parallelFor(static_cast<size_t>(Trials),
+                   [&](size_t T) { trace(S, SeedBase + T); });
+}
+
+void Evaluation::prepareAllArtifacts(int Jobs) {
+  // Pre-record the shared profile trace so the two pipeline tasks replay
+  // it instead of racing to record it twice.
+  trace(Setup.ProfileScale, Setup.ProfileSeed);
+  Executor Pool(static_cast<int>(std::min(resolveJobs(Jobs), 2u)));
+  Pool.parallelFor(2, [&](size_t I) {
+    if (I == 0)
+      haloArtifacts();
+    else
+      hdsArtifacts();
+  });
+}
+
 std::vector<RunMetrics> Evaluation::measureTrials(const MachineConfig &Machine,
                                                   AllocatorKind Kind, Scale S,
                                                   int Trials,
@@ -211,32 +234,22 @@ std::vector<RunMetrics> Evaluation::measureTrials(const MachineConfig &Machine,
                                                   int Jobs) {
   prepareArtifacts(Kind);
 
-  unsigned Workers = Jobs > 0
-                         ? static_cast<unsigned>(Jobs)
-                         : std::max(1u, std::thread::hardware_concurrency());
-  if (Trials > 0 && Workers > static_cast<unsigned>(Trials))
-    Workers = static_cast<unsigned>(Trials);
-
   std::vector<RunMetrics> Runs(std::max(Trials, 0));
-  if (Workers <= 1) {
-    for (int T = 0; T < Trials; ++T)
-      Runs[T] = measure(Machine, Kind, S, SeedBase + T);
+  if (Trials <= 0)
     return Runs;
-  }
 
-  // Every trial is independent and deterministic, so workers can claim
-  // them off a shared counter; slot T always holds seed SeedBase + T, and
-  // the result vector is bit-identical to the serial one.
-  std::atomic<int> Next{0};
-  std::vector<std::thread> Pool;
-  Pool.reserve(Workers);
-  for (unsigned J = 0; J < Workers; ++J)
-    Pool.emplace_back([&] {
-      for (int T; (T = Next.fetch_add(1)) < Trials;)
-        Runs[T] = measure(Machine, Kind, S, SeedBase + T);
-    });
-  for (std::thread &Worker : Pool)
-    Worker.join();
+  // Every trial is independent and deterministic, so the pool can claim
+  // them in any interleaving; slot T always holds seed SeedBase + T, and
+  // the result vector is bit-identical to the serial one. Recording (the
+  // expensive half) fans out first; the replay pass then finds every
+  // trace cached.
+  Executor Pool(static_cast<int>(std::min<uint64_t>(
+      resolveJobs(Jobs), static_cast<uint64_t>(Trials))));
+  Pool.parallelFor(static_cast<size_t>(Trials),
+                   [&](size_t T) { trace(S, SeedBase + T); });
+  Pool.parallelFor(static_cast<size_t>(Trials), [&](size_t T) {
+    Runs[T] = measure(Machine, Kind, S, SeedBase + T);
+  });
   return Runs;
 }
 
@@ -267,8 +280,10 @@ ComparisonRow halo::compareTechniques(const std::string &Benchmark,
   BenchmarkSetup Setup = paperSetup(Benchmark);
   Setup.Machine = Machine;
   Evaluation Eval(std::move(Setup));
-  // The first configuration's trials record the per-seed traces (in
-  // parallel); the other two replay them.
+  // The HALO and HDS pipelines profile the shared recording as two
+  // parallel tasks; the first configuration's trials then record the
+  // per-seed traces (in parallel) and the other two replay them.
+  Eval.prepareAllArtifacts(Jobs);
   auto Base = Eval.measureTrials(AllocatorKind::Jemalloc, S, Trials, 100,
                                  Jobs);
   auto Hds = Eval.measureTrials(AllocatorKind::Hds, S, Trials, 100, Jobs);
@@ -299,37 +314,55 @@ halo::compareAcrossBenchmarks(const std::vector<std::string> &Benchmarks,
     return Rows;
   }
 
-  unsigned Workers = Jobs > 0
-                         ? static_cast<unsigned>(Jobs)
-                         : std::max(1u, std::thread::hardware_concurrency());
-  unsigned Shards = Workers;
-  if (Shards > Benchmarks.size())
-    Shards = static_cast<unsigned>(Benchmarks.size());
-  // Surplus workers beyond the shard count go to trial-level fan-out
-  // inside each shard, so short benchmark lists still use the whole pool;
-  // trials are deterministic, so any split is bit-identical to serial.
-  const int InnerJobs = std::max(1u, Workers / std::max(Shards, 1u));
-  if (Shards <= 1) {
-    for (size_t B = 0; B < Benchmarks.size(); ++B)
-      Rows[B] = compareTechniques(Benchmarks[B], Trials, S, InnerJobs,
-                                  Machine);
-    return Rows;
-  }
-
-  // Benchmarks are independent Evaluations, so workers claim whole
-  // benchmarks off a shared counter; Shards * InnerJobs bounds total
-  // concurrency. Slot B always holds Benchmarks[B], and every row is
-  // bit-identical to the serial order.
-  std::atomic<size_t> Next{0};
-  std::vector<std::thread> Pool;
-  Pool.reserve(Shards);
-  for (unsigned J = 0; J < Shards; ++J)
-    Pool.emplace_back([&] {
-      for (size_t B; (B = Next.fetch_add(1)) < Benchmarks.size();)
-        Rows[B] = compareTechniques(Benchmarks[B], Trials, S, InnerJobs,
-                                    Machine);
-    });
-  for (std::thread &Worker : Pool)
-    Worker.join();
+  // Benchmarks are independent Evaluations, so the pool claims whole
+  // benchmarks; surplus workers beyond the shard count go to trial-level
+  // fan-out inside each shard (Shards * InnerJobs bounds total
+  // concurrency), so short benchmark lists still use the whole pool. Slot
+  // B always holds Benchmarks[B], and every row is bit-identical to the
+  // serial order.
+  const unsigned Workers = resolveJobs(Jobs);
+  const unsigned Shards = static_cast<unsigned>(
+      std::min<size_t>(Workers, Benchmarks.size()));
+  const int InnerJobs = static_cast<int>(std::max(1u, Workers / Shards));
+  Executor Pool(static_cast<int>(Shards));
+  Pool.parallelFor(Benchmarks.size(), [&](size_t B) {
+    Rows[B] = compareTechniques(Benchmarks[B], Trials, S, InnerJobs,
+                                Machine);
+  });
   return Rows;
+}
+
+std::vector<SweepCell>
+halo::sweepMachines(Evaluation &Eval,
+                    const std::vector<const MachineConfig *> &Machines,
+                    int Trials, Scale S, uint64_t SeedBase, int Jobs) {
+  static const AllocatorKind Kinds[] = {
+      AllocatorKind::Jemalloc, AllocatorKind::Hds, AllocatorKind::Halo};
+  constexpr size_t NumKinds = 3;
+  std::vector<SweepCell> Cells(Machines.size() * NumKinds);
+  if (Machines.empty())
+    return Cells;
+
+  // Everything machine-independent materialises before the machine
+  // fan-out: pipeline artifacts (two parallel tasks over the shared
+  // profile recording) and the per-seed measurement traces (recorded
+  // across the whole pool). The per-machine loop then only replays.
+  Eval.prepareAllArtifacts(Jobs);
+  Eval.recordTraces(S, Trials, SeedBase, Jobs);
+
+  const unsigned Workers = resolveJobs(Jobs);
+  const unsigned Shards = static_cast<unsigned>(
+      std::min<size_t>(Workers, Machines.size()));
+  const int InnerJobs = static_cast<int>(std::max(1u, Workers / Shards));
+  Executor Pool(static_cast<int>(Shards));
+  Pool.parallelFor(Machines.size(), [&](size_t M) {
+    for (size_t K = 0; K < NumKinds; ++K) {
+      SweepCell &Cell = Cells[M * NumKinds + K];
+      Cell.Machine = Machines[M];
+      Cell.Kind = Kinds[K];
+      Cell.Runs = Eval.measureTrials(*Machines[M], Kinds[K], S, Trials,
+                                     SeedBase, InnerJobs);
+    }
+  });
+  return Cells;
 }

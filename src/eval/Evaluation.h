@@ -104,6 +104,22 @@ public:
   /// parallel.
   const EventTrace &trace(Scale S, uint64_t Seed);
 
+  /// Records the traces for \p Trials consecutive seeds starting at
+  /// \p SeedBase, fanned out across \p Jobs workers (0 = hardware
+  /// concurrency). Recording is the expensive half of a measurement
+  /// sweep; this is the explicit parallel warm-up measureTrials performs
+  /// before its (cheaper) replay fan-out. Already-cached keys cost one
+  /// map lookup.
+  void recordTraces(Scale S, int Trials, uint64_t SeedBase = 100,
+                    int Jobs = 0);
+
+  /// Materialises the HALO and HDS pipeline artifacts, profiling the two
+  /// pipelines as parallel executor tasks over the shared profile-scale
+  /// recording (they are independent and the trace cache is
+  /// thread-safe). After this, measure() is safe to call concurrently
+  /// for every allocator kind.
+  void prepareAllArtifacts(int Jobs = 0);
+
   /// Measures one configuration on one input by replaying the cached
   /// trace, on the setup's machine. Safe to call concurrently once the
   /// pipeline artifacts the kind needs exist (measureTrials materialises
@@ -164,6 +180,27 @@ private:
   std::map<std::pair<int, uint64_t>, EventTrace> Traces;
   std::mutex TraceMutex;
 };
+
+/// One (machine, allocator kind) cell of a cross-machine sweep: all trial
+/// runs of one benchmark measured on one simulated machine.
+struct SweepCell {
+  const MachineConfig *Machine = nullptr;
+  AllocatorKind Kind = AllocatorKind::Jemalloc;
+  std::vector<RunMetrics> Runs;
+};
+
+/// Measures jemalloc / HDS / HALO trials for every machine in \p Machines
+/// against one Evaluation (halo_cli sweep's backing store): the profile
+/// trace records once, the two pipelines materialise as parallel tasks,
+/// per-seed measurement traces record once across the pool, and the
+/// per-machine loop fans out over the executor with surplus workers going
+/// to trial-level fan-out inside each machine. Cells come back
+/// machine-major in \p Machines order (kinds in jemalloc/hds/halo order),
+/// bit-identical to a serial sweep.
+std::vector<SweepCell>
+sweepMachines(Evaluation &Eval,
+              const std::vector<const MachineConfig *> &Machines, int Trials,
+              Scale S = Scale::Ref, uint64_t SeedBase = 100, int Jobs = 0);
 
 /// The data behind one bar pair of Figures 13/14.
 struct ComparisonRow {

@@ -55,7 +55,10 @@ HdsArtifacts optimizeBinaryHds(const Program &Prog,
                                const MachineConfig &Machine = defaultMachine());
 
 /// Same pipeline, driven by a pre-recorded event trace (see the matching
-/// optimizeBinary overload): HALO and HDS can share one recording.
+/// optimizeBinary overload): HALO and HDS can share one recording, and
+/// replay delivers the profiler's accesses through the batched observer
+/// hook. Safe to run concurrently with the HALO pipeline on the same
+/// trace (Evaluation::prepareAllArtifacts does exactly that).
 HdsArtifacts optimizeBinaryHds(const Program &Prog, const EventTrace &Trace,
                                const HdsParameters &Params = HdsParameters(),
                                const MachineConfig &Machine = defaultMachine());

@@ -52,6 +52,11 @@ void HeapProfiler::onAccess(uint64_t Addr, uint64_t Size, bool IsStore) {
   handleAccess(Addr, Size, IsStore);
 }
 
+void HeapProfiler::onAccessBatch(const MemAccess *Batch, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    handleAccess(Batch[I].Addr, Batch[I].Size, Batch[I].IsStore);
+}
+
 RuntimeObserver::AccessHookFn HeapProfiler::accessHook() {
   return [](RuntimeObserver &Self, uint64_t Addr, uint64_t Size,
             bool IsStore) {

@@ -61,6 +61,10 @@ public:
   void onAlloc(uint64_t Addr, uint64_t Size, CallSiteId MallocSite) override;
   void onFree(uint64_t Addr) override;
   void onAccess(uint64_t Addr, uint64_t Size, bool IsStore) override;
+  /// Batched replay path: one virtual dispatch per run of consecutive
+  /// accesses, then the non-virtual handler in a tight loop (this is how
+  /// the profiling pipelines consume a recorded trace).
+  void onAccessBatch(const MemAccess *Batch, size_t N) override;
   /// Devirtualized per-access fast path: profiling attaches exactly one
   /// observer, so the runtime calls the non-virtual handler directly
   /// (Section 4.1's 500x profiling slowdown lives on this edge).

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <climits>
 
 using namespace halo;
 
@@ -18,6 +19,11 @@ void RuntimeObserver::onAccess(uint64_t, uint64_t, bool) {}
 void RuntimeObserver::onCompute(uint64_t) {}
 void RuntimeObserver::onReallocBegin(uint64_t, uint64_t, CallSiteId) {}
 void RuntimeObserver::onReallocEnd(uint64_t) {}
+
+void RuntimeObserver::onAccessBatch(const MemAccess *Batch, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    onAccess(Batch[I].Addr, Batch[I].Size, Batch[I].IsStore);
+}
 
 RuntimeObserver::AccessHookFn RuntimeObserver::accessHook() {
   return [](RuntimeObserver &Self, uint64_t Addr, uint64_t Size,
@@ -139,6 +145,27 @@ void Runtime::free(uint64_t Addr) {
   ++Stats.Frees;
 }
 
+/// Narrows a decoded access size into the batch encoding. No modelled
+/// access approaches 4 GiB (workload accesses are object-sized; realloc
+/// copy spans are 64 bytes), and a wrap here would silently break replay
+/// bit-identity, so debug builds assert; Release builds trade the
+/// per-event check away, relying on tests/trace_replay_test.cpp's
+/// replay-vs-direct sweeps to catch any workload that ever violates it.
+static uint32_t batchSize(uint64_t Size) {
+  assert(Size <= UINT32_MAX && "access size exceeds the batch encoding");
+  return static_cast<uint32_t>(Size);
+}
+
+void Runtime::replayAccessRun(const MemAccess *Batch, size_t N,
+                              uint64_t Stores) {
+  Stats.Loads += N - Stores;
+  Stats.Stores += Stores;
+  if (Memory)
+    Timing.addMemory(Memory->accessBatch(Batch, N));
+  for (RuntimeObserver *Obs : Observers)
+    Obs->onAccessBatch(Batch, N);
+}
+
 void Runtime::replay(const EventTrace &Trace) {
   // Replay-time object table: the Nth minted object's address under *this*
   // runtime's allocator. Frees leave entries stale, exactly like a freed
@@ -146,72 +173,145 @@ void Runtime::replay(const EventTrace &Trace) {
   std::vector<uint64_t> ObjAddr;
   ObjAddr.reserve(Trace.numObjects());
 
+  // Batch loop: decoding resolves every data access (the dominant event
+  // shape) straight into a flat MemAccess batch -- ids become final
+  // addresses at decode time -- and each batch is consumed whole by the
+  // memory hierarchy and the observers, so the TLB/L1 fast path spins in
+  // a tight loop with no call per event.
+  //
+  // How long a batch may grow is the crux. With observers attached
+  // (profiling replay), every observable event must be delivered in
+  // recording order, so any non-access record flushes the pending batch
+  // first. Unobserved (the measurement configuration), the only true
+  // ordering dependency is the hierarchy's own access sequence: calls,
+  // allocations, frees, and computes never touch the hierarchy, and their
+  // effects -- stack/group-state updates, allocator bookkeeping, counter
+  // and cycle sums -- neither read the pending accesses nor are read by
+  // them (addresses are already resolved). They therefore execute inline
+  // while the batch keeps filling. The one exception is Realloc, whose
+  // composite copy traffic drives the hierarchy through load()/store()
+  // and so must see the batch drained first. Either way every counter is
+  // bit-identical to per-event replay: batching only regroups commutative
+  // additions around events it never reorders against their dependencies.
+  constexpr size_t BatchCap = 512;
+  std::vector<MemAccess> Batch(BatchCap);
+  size_t Run = 0;
+  uint64_t RunStores = 0;
+  const bool Strict = !Observers.empty();
+
+  auto Flush = [&] {
+    if (Run) {
+      replayAccessRun(Batch.data(), Run, RunStores);
+      Run = 0;
+      RunStores = 0;
+    }
+  };
+
   EventTrace::Reader R = Trace.reader();
   while (!R.atEnd()) {
     switch (R.op()) {
-    case TraceOp::Call:
-      enter(static_cast<CallSiteId>(R.varint()));
+    case TraceOp::Call: {
+      CallSiteId Site = static_cast<CallSiteId>(R.varint());
+      if (Strict)
+        Flush();
+      enter(Site);
       break;
+    }
     case TraceOp::Return:
+      if (Strict)
+        Flush();
       leave();
       break;
     case TraceOp::Alloc: {
       CallSiteId Site = static_cast<CallSiteId>(R.varint());
       uint64_t Size = R.varint();
+      if (Strict)
+        Flush();
       ObjAddr.push_back(malloc(Size, Site));
       break;
     }
-    case TraceOp::Free:
-      free(ObjAddr[R.varint()]);
+    case TraceOp::Free: {
+      uint64_t Id = R.varint();
+      if (Strict)
+        Flush();
+      free(ObjAddr[Id]);
       break;
+    }
     case TraceOp::Load: {
       uint64_t Id = R.varint();
       uint64_t Offset = R.varint();
-      uint64_t Size = R.varint();
-      load(ObjAddr[Id] + Offset, Size);
+      Batch[Run++] =
+          MemAccess{ObjAddr[Id] + Offset,
+                    batchSize(R.varint()), 0};
+      if (Run == BatchCap)
+        Flush();
       break;
     }
     case TraceOp::Store: {
       uint64_t Id = R.varint();
       uint64_t Offset = R.varint();
-      uint64_t Size = R.varint();
-      store(ObjAddr[Id] + Offset, Size);
+      Batch[Run++] =
+          MemAccess{ObjAddr[Id] + Offset,
+                    batchSize(R.varint()), 1};
+      ++RunStores;
+      if (Run == BatchCap)
+        Flush();
       break;
     }
     case TraceOp::LoadBase: {
-      uint64_t Id = R.varint();
-      uint64_t Size = R.varint();
-      load(ObjAddr[Id], Size);
+      uint64_t Addr = ObjAddr[R.varint()];
+      Batch[Run++] =
+          MemAccess{Addr, batchSize(R.varint()), 0};
+      if (Run == BatchCap)
+        Flush();
       break;
     }
     case TraceOp::StoreBase: {
-      uint64_t Id = R.varint();
-      uint64_t Size = R.varint();
-      store(ObjAddr[Id], Size);
+      uint64_t Addr = ObjAddr[R.varint()];
+      Batch[Run++] =
+          MemAccess{Addr, batchSize(R.varint()), 1};
+      ++RunStores;
+      if (Run == BatchCap)
+        Flush();
       break;
     }
     case TraceOp::LoadRaw: {
       uint64_t Addr = R.varint();
-      uint64_t Size = R.varint();
-      load(Addr, Size);
+      Batch[Run++] =
+          MemAccess{Addr, batchSize(R.varint()), 0};
+      if (Run == BatchCap)
+        Flush();
       break;
     }
     case TraceOp::StoreRaw: {
       uint64_t Addr = R.varint();
-      uint64_t Size = R.varint();
-      store(Addr, Size);
+      Batch[Run++] =
+          MemAccess{Addr, batchSize(R.varint()), 1};
+      ++RunStores;
+      if (Run == BatchCap)
+        Flush();
       break;
     }
-    case TraceOp::Compute:
-      compute(R.varint());
+    case TraceOp::Compute: {
+      uint64_t Cycles = R.varint();
+      if (Strict) {
+        Flush();
+        compute(Cycles);
+      } else {
+        // compute() without observers is just the cycle add.
+        Timing.addCompute(Cycles);
+      }
       break;
-    case TraceOp::Realloc: {
+    }
+    case TraceOp::Realloc: { // old object id, site, new size.
       uint64_t Old = R.varint();
       CallSiteId Site = static_cast<CallSiteId>(R.varint());
       uint64_t NewSize = R.varint();
+      Flush(); // The composite's copy traffic drives the hierarchy.
       ObjAddr.push_back(realloc(ObjAddr[Old], NewSize, Site));
       break;
     }
     }
   }
+  Flush();
 }

@@ -49,6 +49,13 @@ public:
   /// Pure-compute cycles reported through Runtime::compute (needed by trace
   /// recording; cycle totals are part of a run's metrics).
   virtual void onCompute(uint64_t Cycles);
+  /// Batched form of onAccess: trace replay hands observers whole runs of
+  /// consecutive data accesses in one call. The default forwards
+  /// element-wise to onAccess, so observers that only implement the
+  /// per-event hook keep working; hot observers (HeapProfiler,
+  /// TraceRecorder) override it to loop their non-virtual handler -- one
+  /// dispatch per run instead of per event.
+  virtual void onAccessBatch(const MemAccess *Batch, size_t N);
   /// Brackets a composite realloc (Addr != 0): the primitive alloc, copy
   /// accesses, and free in between belong to the realloc. Observers that
   /// only care about primitives (the profiler) ignore these.
@@ -167,6 +174,16 @@ public:
   /// allocator-dependent copy traffic. On a fresh runtime the resulting
   /// stats, timing, and memory counters are bit-identical to direct
   /// execution of the recorded workload under the same configuration.
+  ///
+  /// Execution is batched: decoding (inline over EventTrace::Reader,
+  /// fused with object-id-to-address resolution) accumulates runs of
+  /// data accesses -- the dominant event shape -- into flat MemAccess
+  /// blocks handed to MemoryHierarchy::accessBatch and
+  /// RuntimeObserver::onAccessBatch in one call each, so the simulator's
+  /// TLB/L1 fast path spins in a tight loop with no dispatch per event.
+  /// Counters stay bit-identical to per-event execution: batch
+  /// boundaries only regroup commutative additions, never reorder
+  /// events against their dependencies (see the comment in replay()).
   void replay(const EventTrace &Trace);
 
   // -- State -------------------------------------------------------------
@@ -197,6 +214,11 @@ private:
   /// through its devirtualized hook, multiple observers through the
   /// virtual interface.
   void notifyAccess(uint64_t Addr, uint64_t Size, bool IsStore);
+
+  /// Executes one run of consecutive replayed data accesses (of which
+  /// \p Stores are stores): event counters, the memory hierarchy (whole
+  /// batch), then observers (whole batch).
+  void replayAccessRun(const MemAccess *Batch, size_t N, uint64_t Stores);
 
   const Program &Prog;
   Allocator *Alloc;

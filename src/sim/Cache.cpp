@@ -23,42 +23,18 @@ Cache::Cache(const CacheConfig &Config) : Config(Config) {
     SetShift = 0;
     while ((1u << SetShift) < Sets)
       ++SetShift;
+  } else {
+    while (((Sets >> SetP2Shift) & 1) == 0)
+      ++SetP2Shift;
+    // Dividends are line numbers with the set count's power-of-two factor
+    // already shifted out, so the reciprocal's exactness bound only has to
+    // cover that reduced range.
+    OddDiv = MagicDivider(Sets >> SetP2Shift,
+                          (~0ull >> LineShift) >> SetP2Shift);
   }
   Slots.assign(uint64_t(Sets) * Config.Ways, Slot{InvalidTag, 0});
   Mru.assign(Sets, 0);
-}
-
-// Composing the two documented primitives keeps the fused MemoryHierarchy
-// fast path and plain accesses on one code path; the repeated locate() on
-// the miss side is noise next to the way scan that follows.
-bool Cache::access(uint64_t Addr) { return mruHit(Addr) || accessSlow(Addr); }
-
-bool Cache::scanInsert(uint32_t Set, uint64_t Tag) {
-  assert(Tag != InvalidTag && "address saturates the tag space");
-  const uint64_t Base = uint64_t(Set) * Config.Ways;
-  ++Clock;
-
-  // One pass finds both a hit and the LRU victim. Empty slots carry use
-  // clock 0, below every live clock (clocks start at 1), so they fill
-  // before any live way is evicted -- same outcomes as an explicit
-  // valid-bit scan, without a third field.
-  Slot *Begin = &Slots[Base];
-  Slot *Victim = Begin;
-  for (Slot *S = Begin; S != Begin + Config.Ways; ++S) {
-    if (S->Tag == Tag) {
-      S->Use = Clock;
-      ++Hits;
-      Mru[Set] = static_cast<uint8_t>(S - Begin);
-      return true;
-    }
-    if (S->Use < Victim->Use)
-      Victim = S;
-  }
-  ++Misses;
-  Victim->Tag = Tag;
-  Victim->Use = Clock;
-  Mru[Set] = static_cast<uint8_t>(Victim - Begin);
-  return false;
+  MruTag.assign(Sets, InvalidTag);
 }
 
 bool Cache::contains(uint64_t Addr) const {
@@ -73,5 +49,6 @@ bool Cache::contains(uint64_t Addr) const {
 void Cache::reset() {
   Slots.assign(Slots.size(), Slot{InvalidTag, 0});
   Mru.assign(Sets, 0);
+  MruTag.assign(Sets, InvalidTag);
   Clock = Hits = Misses = 0;
 }

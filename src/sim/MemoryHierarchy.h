@@ -20,6 +20,7 @@
 #include "sim/Cache.h"
 #include "sim/Tlb.h"
 
+#include <cstddef>
 #include <cstdint>
 
 namespace halo {
@@ -43,6 +44,19 @@ struct HierarchyConfig {
   LatencyModel Latency;
 };
 
+/// One decoded data access: the unit of the batch interfaces. Trace
+/// replay resolves event records into runs of these and hands each run to
+/// the hierarchy (and to observers) as a block, so the per-access fast
+/// path executes in a tight loop instead of behind a call per event. The
+/// 16-byte layout keeps a 512-entry batch inside 8 KiB of buffer; a
+/// single access never spans 4 GiB, so 32 bits of size suffice.
+struct MemAccess {
+  uint64_t Addr;
+  uint32_t Size;
+  uint32_t IsStore; ///< Loads and stores cost alike in the hierarchy; the
+                    ///< flag exists for observers and event counters.
+};
+
 /// Counter snapshot for reporting.
 struct MemoryCounters {
   uint64_t Accesses = 0;
@@ -63,6 +77,14 @@ public:
   /// Every cache line the access touches is looked up. Returns the cycles
   /// the access cost.
   uint64_t access(uint64_t Addr, uint64_t Size);
+
+  /// Performs every access of \p Batch in order and returns the summed
+  /// cycles -- bit-identical counters and cost to calling access() per
+  /// element. The batch form exists so replay's dominant event runs drive
+  /// the fused TLB+L1 fast path in a loop inside this TU (where
+  /// accessLine inlines) rather than through one out-of-line call per
+  /// event.
+  uint64_t accessBatch(const MemAccess *Batch, size_t N);
 
   MemoryCounters counters() const;
   void reset();

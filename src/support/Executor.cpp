@@ -1,0 +1,106 @@
+//===- support/Executor.cpp - Shared worker pool ----------------------------===//
+
+#include "support/Executor.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace halo;
+
+unsigned halo::resolveJobs(int Jobs) {
+  if (Jobs > 0)
+    return static_cast<unsigned>(Jobs);
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+Executor::Executor(int Jobs) : NumWorkers(resolveJobs(Jobs)) {
+  Threads.reserve(NumWorkers - 1);
+  for (unsigned J = 1; J < NumWorkers; ++J)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stop = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &Worker : Threads)
+    Worker.join();
+}
+
+void Executor::parallelFor(size_t TaskCount,
+                           const std::function<void(size_t)> &TaskFn) {
+  if (TaskCount == 0)
+    return;
+  if (Threads.empty()) {
+    // Serial reference path: exceptions propagate straight to the caller.
+    for (size_t I = 0; I < TaskCount; ++I)
+      TaskFn(I);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Fn = &TaskFn;
+    Count = TaskCount;
+    Next = 0;
+    Working = Threads.size();
+    FirstError = nullptr;
+    ++Generation;
+  }
+  WorkReady.notify_all();
+
+  drainTasks();
+
+  // The caller ran out of tasks; wait for every pool thread to finish the
+  // batch (each must observe the generation once, even if it claimed no
+  // index -- that is what makes the pool reusable for the next batch).
+  std::unique_lock<std::mutex> Lock(Mutex);
+  BatchDone.wait(Lock, [this] { return Working == 0; });
+  Fn = nullptr;
+  if (FirstError)
+    std::rethrow_exception(std::exchange(FirstError, nullptr));
+}
+
+void Executor::drainTasks() {
+  for (;;) {
+    size_t Index;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Next >= Count)
+        return;
+      Index = Next++;
+    }
+    try {
+      (*Fn)(Index);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+      Next = Count; // Abandon unclaimed indices; in-flight ones finish.
+    }
+  }
+}
+
+void Executor::workerMain() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock, [&] {
+        return Stop || Generation != SeenGeneration;
+      });
+      if (Stop)
+        return;
+      SeenGeneration = Generation;
+    }
+    drainTasks();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Working > 0)
+        continue;
+    }
+    BatchDone.notify_one();
+  }
+}

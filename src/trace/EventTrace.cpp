@@ -6,6 +6,51 @@
 
 using namespace halo;
 
+namespace {
+
+/// Decodes the operands of one record whose tag \p Op was already
+/// consumed. Unused fields stay untouched (consumers read only the
+/// operands the op defines).
+inline void decodeOperands(EventTrace::Reader &R, TraceOp Op,
+                           TraceEvent &E) {
+  switch (Op) {
+  case TraceOp::Return:
+    break;
+  case TraceOp::Call:
+  case TraceOp::Free:
+  case TraceOp::Compute:
+    E.A = R.varint();
+    break;
+  case TraceOp::Alloc:
+  case TraceOp::LoadBase:
+  case TraceOp::StoreBase:
+  case TraceOp::LoadRaw:
+  case TraceOp::StoreRaw:
+    E.A = R.varint();
+    E.B = R.varint();
+    break;
+  case TraceOp::Load:
+  case TraceOp::Store:
+  case TraceOp::Realloc:
+    E.A = R.varint();
+    E.B = R.varint();
+    E.C = R.varint();
+    break;
+  }
+}
+
+} // namespace
+
+size_t EventTrace::Cursor::fill(TraceEvent *Out, size_t MaxN) {
+  size_t N = 0;
+  while (N < MaxN && !R.atEnd()) {
+    TraceEvent &E = Out[N++];
+    E.Op = R.op();
+    decodeOperands(R, E.Op, E);
+  }
+  return N;
+}
+
 void TraceRecorder::onCall(CallSiteId Site) { Trace.recordCall(Site); }
 
 void TraceRecorder::onReturn(CallSiteId) { Trace.recordReturn(); }
@@ -97,6 +142,11 @@ void TraceRecorder::handleAccess(uint64_t Addr, uint64_t Size, bool IsStore) {
 
 void TraceRecorder::onAccess(uint64_t Addr, uint64_t Size, bool IsStore) {
   handleAccess(Addr, Size, IsStore);
+}
+
+void TraceRecorder::onAccessBatch(const MemAccess *Batch, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    handleAccess(Batch[I].Addr, Batch[I].Size, Batch[I].IsStore);
 }
 
 RuntimeObserver::AccessHookFn TraceRecorder::accessHook() {

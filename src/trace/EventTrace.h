@@ -34,13 +34,17 @@
 #include "support/AddrMap.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <vector>
 
 namespace halo {
 
-/// Tag byte of each trace record. Operands are LEB128 varints.
+/// Tag byte of each trace record. Operands are LEB128 varints. Every
+/// consumer dispatches on this with a fully-enumerated switch (no
+/// default), so adding an op here makes -Wswitch flag each site that
+/// needs updating.
 enum class TraceOp : uint8_t {
   Call = 0,  ///< site
   Return,    ///< (no operands)
@@ -54,6 +58,19 @@ enum class TraceOp : uint8_t {
   StoreRaw,  ///< address, size (non-heap traffic)
   Compute,   ///< cycles
   Realloc,   ///< old object id, site, new size; mints the next object id
+};
+
+/// One decoded trace record: the tag plus up to three operands in record
+/// order (A holds the first operand, B the second, C the third; fields
+/// beyond the record's operand count are left untouched). The fixed
+/// stride is what the batch decoder fills and the replay loop consumes --
+/// decode and execution each run over flat arrays instead of alternating
+/// per event.
+struct TraceEvent {
+  TraceOp Op;
+  uint64_t A;
+  uint64_t B;
+  uint64_t C;
 };
 
 /// Per-kind record totals of a trace.
@@ -114,6 +131,28 @@ public:
   Reader reader() const {
     return Reader(Buffer.data(), Buffer.data() + Buffer.size());
   }
+
+  /// Chunked batch decoder: decodes up to N records per fill() into a
+  /// flat fixed-stride TraceEvent buffer, so consumers iterate an array
+  /// instead of alternating decode and execution per record. (The replay
+  /// hot loop in Runtime.cpp goes one step further and fuses decoding
+  /// with address resolution; this cursor is the general-purpose form for
+  /// tools and tests.)
+  class Cursor {
+  public:
+    explicit Cursor(const EventTrace &Trace) : R(Trace.reader()) {}
+
+    bool atEnd() const { return R.atEnd(); }
+
+    /// Decodes up to \p MaxN records into \p Out; returns how many were
+    /// decoded (0 only at the end of the trace).
+    size_t fill(TraceEvent *Out, size_t MaxN);
+
+  private:
+    Reader R;
+  };
+
+  Cursor cursor() const { return Cursor(*this); }
 
   // -- Recording ---------------------------------------------------------
   void recordCall(CallSiteId Site) {
@@ -270,6 +309,7 @@ public:
   void onAlloc(uint64_t Addr, uint64_t Size, CallSiteId MallocSite) override;
   void onFree(uint64_t Addr) override;
   void onAccess(uint64_t Addr, uint64_t Size, bool IsStore) override;
+  void onAccessBatch(const MemAccess *Batch, size_t N) override;
   void onCompute(uint64_t Cycles) override;
   void onReallocBegin(uint64_t OldAddr, uint64_t NewSize,
                       CallSiteId MallocSite) override;

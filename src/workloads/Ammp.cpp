@@ -8,7 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -113,6 +113,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createAmmpWorkload() {
-  return std::make_unique<AmmpWorkload>();
-}
+HALO_REGISTER_WORKLOAD("ammp", 3, AmmpWorkload);

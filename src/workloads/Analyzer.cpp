@@ -8,7 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -88,6 +88,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createAnalyzerWorkload() {
-  return std::make_unique<AnalyzerWorkload>();
-}
+HALO_REGISTER_WORKLOAD("analyzer", 2, AnalyzerWorkload);

@@ -9,7 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -98,6 +98,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createArtWorkload() {
-  return std::make_unique<ArtWorkload>();
-}
+HALO_REGISTER_WORKLOAD("art", 4, ArtWorkload);

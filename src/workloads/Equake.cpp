@@ -7,7 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -95,6 +95,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createEquakeWorkload() {
-  return std::make_unique<EquakeWorkload>();
-}
+HALO_REGISTER_WORKLOAD("equake", 5, EquakeWorkload);

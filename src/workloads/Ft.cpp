@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -110,6 +110,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createFtWorkload() {
-  return std::make_unique<FtWorkload>();
-}
+HALO_REGISTER_WORKLOAD("ft", 1, FtWorkload);

@@ -14,7 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -171,6 +171,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createHealthWorkload() {
-  return std::make_unique<HealthWorkload>();
-}
+HALO_REGISTER_WORKLOAD("health", 0, HealthWorkload);

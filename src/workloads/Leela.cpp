@@ -15,7 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -176,6 +176,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createLeelaWorkload() {
-  return std::make_unique<LeelaWorkload>();
-}
+HALO_REGISTER_WORKLOAD("leela", 9, LeelaWorkload);

@@ -14,7 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <algorithm>
 #include <vector>
@@ -195,6 +195,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createOmnetppWorkload() {
-  return std::make_unique<OmnetppWorkload>();
-}
+HALO_REGISTER_WORKLOAD("omnetpp", 7, OmnetppWorkload);

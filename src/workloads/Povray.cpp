@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -120,6 +120,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createPovrayWorkload() {
-  return std::make_unique<PovrayWorkload>();
-}
+HALO_REGISTER_WORKLOAD("povray", 6, PovrayWorkload);

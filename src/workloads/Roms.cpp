@@ -14,7 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -113,6 +113,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createRomsWorkload() {
-  return std::make_unique<RomsWorkload>();
-}
+HALO_REGISTER_WORKLOAD("roms", 10, RomsWorkload);

@@ -2,42 +2,60 @@
 
 #include "workloads/Workload.h"
 
-#include "workloads/Factories.h"
+#include <algorithm>
+#include <cassert>
 
 using namespace halo;
 
 Workload::~Workload() = default;
 
+namespace {
+
+struct RegistryEntry {
+  const char *Name;
+  int Order;
+  std::unique_ptr<Workload> (*Factory)();
+};
+
+/// Construct-on-first-use so registrars from any translation unit can run
+/// in any static-initialisation order.
+std::vector<RegistryEntry> &registry() {
+  static std::vector<RegistryEntry> Entries;
+  return Entries;
+}
+
+} // namespace
+
+WorkloadRegistrar::WorkloadRegistrar(const char *Name, int Order,
+                                     std::unique_ptr<Workload> (*Factory)()) {
+  std::vector<RegistryEntry> &Entries = registry();
+#ifndef NDEBUG
+  for (const RegistryEntry &E : Entries)
+    assert(std::string(E.Name) != Name && E.Order != Order &&
+           "duplicate workload registration");
+#endif
+  // Keep the registry sorted by the explicit order so lookups and the
+  // name listing never depend on which translation unit initialised
+  // first.
+  auto Pos = std::lower_bound(
+      Entries.begin(), Entries.end(), Order,
+      [](const RegistryEntry &E, int O) { return E.Order < O; });
+  Entries.insert(Pos, RegistryEntry{Name, Order, Factory});
+}
+
 const std::vector<std::string> &halo::workloadNames() {
-  // Figure 13 order: prior-work benchmarks first, then SPECrate CPU2017.
-  static const std::vector<std::string> Names = {
-      "health", "ft",     "analyzer", "ammp",  "art",  "equake",
-      "povray", "omnetpp", "xalanc",  "leela", "roms"};
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> Sorted;
+    for (const RegistryEntry &E : registry())
+      Sorted.push_back(E.Name);
+    return Sorted;
+  }();
   return Names;
 }
 
 std::unique_ptr<Workload> halo::createWorkload(const std::string &Name) {
-  if (Name == "health")
-    return createHealthWorkload();
-  if (Name == "ft")
-    return createFtWorkload();
-  if (Name == "analyzer")
-    return createAnalyzerWorkload();
-  if (Name == "ammp")
-    return createAmmpWorkload();
-  if (Name == "art")
-    return createArtWorkload();
-  if (Name == "equake")
-    return createEquakeWorkload();
-  if (Name == "povray")
-    return createPovrayWorkload();
-  if (Name == "omnetpp")
-    return createOmnetppWorkload();
-  if (Name == "xalanc")
-    return createXalancWorkload();
-  if (Name == "leela")
-    return createLeelaWorkload();
-  if (Name == "roms")
-    return createRomsWorkload();
+  for (const RegistryEntry &E : registry())
+    if (Name == E.Name)
+      return E.Factory();
   return nullptr;
 }

@@ -49,11 +49,36 @@ public:
   virtual void run(Runtime &RT, Scale S, uint64_t Seed) = 0;
 };
 
-/// Names of all eleven benchmark models, in the paper's Figure 13 order.
+/// Names of all registered benchmark models, in registration order (the
+/// paper's Figure 13 order for the built-in eleven). Do not call during
+/// static initialisation: models register themselves via static
+/// initialisers, and the list is only complete once those have all run.
 const std::vector<std::string> &workloadNames();
 
 /// Instantiates a workload by name; returns nullptr for unknown names.
 std::unique_ptr<Workload> createWorkload(const std::string &Name);
+
+/// Adds a factory to the workload registry at static-initialisation time.
+/// Each model's translation unit registers itself (see
+/// HALO_REGISTER_WORKLOAD); nothing else needs to know the model exists.
+/// \p Order fixes the model's position in workloadNames() -- static
+/// initialisation order across translation units is unspecified, so the
+/// listing position is explicit rather than an accident of link order.
+class WorkloadRegistrar {
+public:
+  WorkloadRegistrar(const char *Name, int Order,
+                    std::unique_ptr<Workload> (*Factory)());
+};
+
+/// One line per model, at namespace scope in the model's .cpp:
+///   HALO_REGISTER_WORKLOAD("health", 0, HealthWorkload);
+/// The model type may live in an anonymous namespace; only the registrar
+/// object (and through it the factory) escapes the translation unit.
+#define HALO_REGISTER_WORKLOAD(NAME, ORDER, TYPE)                            \
+  static const ::halo::WorkloadRegistrar RegisterWorkload_##TYPE(            \
+      NAME, ORDER, []() -> std::unique_ptr<::halo::Workload> {               \
+        return std::make_unique<TYPE>();                                     \
+      })
 
 } // namespace halo
 

@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "workloads/Factories.h"
+#include "workloads/Workload.h"
 
 #include <vector>
 
@@ -153,6 +153,4 @@ private:
 
 } // namespace
 
-std::unique_ptr<Workload> halo::createXalancWorkload() {
-  return std::make_unique<XalancWorkload>();
-}
+HALO_REGISTER_WORKLOAD("xalanc", 8, XalancWorkload);

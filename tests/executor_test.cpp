@@ -1,0 +1,126 @@
+//===- tests/executor_test.cpp - Shared worker pool tests --------------------===//
+//
+// The Executor contract every parallel stage of the measurement stack
+// leans on: each index in [0, Count) runs exactly once, results land in
+// their own slots (so a filled vector is bit-identical to a serial
+// loop), jobs=1 degenerates to an inline serial loop on the calling
+// thread, exceptions propagate to the caller without wedging the pool,
+// and one pool serves many parallelFor batches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace halo;
+
+TEST(ResolveJobs, PositiveValuesPassThrough) {
+  EXPECT_EQ(resolveJobs(1), 1u);
+  EXPECT_EQ(resolveJobs(7), 7u);
+}
+
+TEST(ResolveJobs, ZeroMeansHardwareConcurrencyAndNeverLessThanOne) {
+  unsigned Resolved = resolveJobs(0);
+  EXPECT_GE(Resolved, 1u);
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw > 0)
+    EXPECT_EQ(Resolved, Hw);
+}
+
+TEST(Executor, ReportsItsWorkerCount) {
+  EXPECT_EQ(Executor(1).workers(), 1u);
+  EXPECT_EQ(Executor(4).workers(), 4u);
+  EXPECT_EQ(Executor(0).workers(), resolveJobs(0));
+}
+
+TEST(Executor, EveryIndexRunsExactlyOnceIntoItsSlot) {
+  for (int Jobs : {1, 2, 4, 8}) {
+    Executor Pool(Jobs);
+    std::vector<uint64_t> Slots(100, 0);
+    std::vector<std::atomic<int>> Counts(100);
+    Pool.parallelFor(Slots.size(), [&](size_t I) {
+      Slots[I] = I * I + 1;
+      Counts[I].fetch_add(1);
+    });
+    for (size_t I = 0; I < Slots.size(); ++I) {
+      EXPECT_EQ(Slots[I], I * I + 1) << "jobs=" << Jobs << " slot " << I;
+      EXPECT_EQ(Counts[I].load(), 1) << "jobs=" << Jobs << " slot " << I;
+    }
+  }
+}
+
+TEST(Executor, ParallelSlotsMatchSerialBitForBit) {
+  auto Fill = [](Executor &Pool, std::vector<double> &Out) {
+    Pool.parallelFor(Out.size(), [&](size_t I) {
+      Out[I] = static_cast<double>(I) * 0.75 + 1.0 / (I + 1);
+    });
+  };
+  Executor Serial(1), Parallel(4);
+  std::vector<double> A(257), B(257);
+  Fill(Serial, A);
+  Fill(Parallel, B);
+  EXPECT_EQ(A, B);
+}
+
+TEST(Executor, JobsOneRunsInlineOnTheCallingThread) {
+  Executor Pool(1);
+  const std::thread::id Caller = std::this_thread::get_id();
+  bool AllInline = true;
+  Pool.parallelFor(16, [&](size_t) {
+    if (std::this_thread::get_id() != Caller)
+      AllInline = false;
+  });
+  EXPECT_TRUE(AllInline);
+}
+
+TEST(Executor, CountZeroIsANoOp) {
+  Executor Pool(4);
+  bool Ran = false;
+  Pool.parallelFor(0, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(Executor, MoreTasksThanWorkersAndViceVersa) {
+  Executor Pool(3);
+  std::atomic<int> Ran{0};
+  Pool.parallelFor(1000, [&](size_t) { Ran.fetch_add(1); });
+  EXPECT_EQ(Ran.load(), 1000);
+  Ran = 0;
+  Pool.parallelFor(2, [&](size_t) { Ran.fetch_add(1); }); // Fewer than pool.
+  EXPECT_EQ(Ran.load(), 2);
+}
+
+TEST(Executor, ExceptionsPropagateAndThePoolStaysUsable) {
+  for (int Jobs : {1, 4}) {
+    Executor Pool(Jobs);
+    EXPECT_THROW(Pool.parallelFor(32,
+                                  [&](size_t I) {
+                                    if (I == 7)
+                                      throw std::runtime_error("task 7");
+                                  }),
+                 std::runtime_error) << "jobs=" << Jobs;
+
+    // The same pool must still drain a clean batch afterwards.
+    std::atomic<int> Ran{0};
+    Pool.parallelFor(10, [&](size_t) { Ran.fetch_add(1); });
+    EXPECT_EQ(Ran.load(), 10) << "jobs=" << Jobs;
+  }
+}
+
+TEST(Executor, ReusableAcrossManyBatches) {
+  Executor Pool(4);
+  uint64_t Total = 0;
+  for (int Batch = 0; Batch < 20; ++Batch) {
+    std::vector<uint64_t> Out(Batch + 1);
+    Pool.parallelFor(Out.size(), [&](size_t I) { Out[I] = I + Batch; });
+    Total += std::accumulate(Out.begin(), Out.end(), uint64_t(0));
+  }
+  EXPECT_GT(Total, 0u);
+}

@@ -295,6 +295,43 @@ TEST(MachineMeasurement, TrialsFanOutPerMachineBitIdentically) {
   }
 }
 
+TEST(MachineMeasurement, SweepMachinesParallelMatchesSerial) {
+  // The cross-machine sweep (halo_cli sweep's backing store) fans the
+  // per-machine loop over the executor; every cell must be bit-identical
+  // to the serial sweep, machine-major in request order.
+  std::vector<const MachineConfig *> Machines = {findMachine("xeon-w2195"),
+                                                 findMachine("mobile"),
+                                                 findMachine("server")};
+  Evaluation SerialEval(paperSetup("health"));
+  auto Serial = sweepMachines(SerialEval, Machines, /*Trials=*/2,
+                              Scale::Test, /*SeedBase=*/100, /*Jobs=*/1);
+  Evaluation ParallelEval(paperSetup("health"));
+  auto Parallel = sweepMachines(ParallelEval, Machines, /*Trials=*/2,
+                                Scale::Test, /*SeedBase=*/100, /*Jobs=*/4);
+
+  ASSERT_EQ(Serial.size(), Machines.size() * 3);
+  ASSERT_EQ(Parallel.size(), Serial.size());
+  const AllocatorKind KindOrder[] = {AllocatorKind::Jemalloc,
+                                     AllocatorKind::Hds, AllocatorKind::Halo};
+  for (size_t C = 0; C < Serial.size(); ++C) {
+    SCOPED_TRACE("cell " + std::to_string(C));
+    EXPECT_EQ(Serial[C].Machine, Machines[C / 3]);
+    EXPECT_EQ(Parallel[C].Machine, Machines[C / 3]);
+    EXPECT_EQ(Serial[C].Kind, KindOrder[C % 3]);
+    ASSERT_EQ(Serial[C].Runs.size(), 2u);
+    ASSERT_EQ(Parallel[C].Runs.size(), 2u);
+    for (size_t T = 0; T < Serial[C].Runs.size(); ++T) {
+      EXPECT_EQ(Serial[C].Runs[T].Cycles, Parallel[C].Runs[T].Cycles);
+      EXPECT_EQ(Serial[C].Runs[T].Mem.L1Misses,
+                Parallel[C].Runs[T].Mem.L1Misses);
+      EXPECT_EQ(Serial[C].Runs[T].Mem.TlbMisses,
+                Parallel[C].Runs[T].Mem.TlbMisses);
+      EXPECT_DOUBLE_EQ(Serial[C].Runs[T].Seconds,
+                       Parallel[C].Runs[T].Seconds);
+    }
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Benchmark-sharded comparisons (halo_cli plot's backing store)
 //===----------------------------------------------------------------------===//

@@ -200,6 +200,168 @@ TEST(TraceReplay, PipelineFromTraceMatchesDirectProfiling) {
   EXPECT_EQ(HdsDirect.Groups.size(), HdsReplayed.Groups.size());
 }
 
+TEST(TraceReplay, CursorChunkDecodeMatchesReaderDecode) {
+  // The chunked batch decoder must produce exactly the records the
+  // sequential reader does, across chunk boundaries of any size.
+  auto W = createWorkload("health");
+  Program P;
+  W->build(P);
+  EventTrace Trace;
+  {
+    RecordingArena Arena;
+    Runtime RT(P, Arena);
+    TraceRecorder Recorder(Trace, Arena);
+    RT.addObserver(&Recorder);
+    W->run(RT, Scale::Test, 3);
+  }
+
+  for (size_t ChunkSize : {1u, 7u, 1024u}) {
+    SCOPED_TRACE("chunk " + std::to_string(ChunkSize));
+    EventTrace::Reader R = Trace.reader();
+    EventTrace::Cursor Cur = Trace.cursor();
+    std::vector<TraceEvent> Chunk(ChunkSize);
+    uint64_t Total = 0;
+    while (size_t N = Cur.fill(Chunk.data(), ChunkSize)) {
+      for (size_t I = 0; I < N; ++I) {
+        ASSERT_FALSE(R.atEnd());
+        TraceOp Op = R.op();
+        ASSERT_EQ(Chunk[I].Op, Op);
+        switch (Op) {
+        case TraceOp::Return:
+          break;
+        case TraceOp::Call:
+        case TraceOp::Free:
+        case TraceOp::Compute:
+          EXPECT_EQ(Chunk[I].A, R.varint());
+          break;
+        case TraceOp::Alloc:
+        case TraceOp::LoadBase:
+        case TraceOp::StoreBase:
+        case TraceOp::LoadRaw:
+        case TraceOp::StoreRaw:
+          EXPECT_EQ(Chunk[I].A, R.varint());
+          EXPECT_EQ(Chunk[I].B, R.varint());
+          break;
+        case TraceOp::Load:
+        case TraceOp::Store:
+        case TraceOp::Realloc:
+          EXPECT_EQ(Chunk[I].A, R.varint());
+          EXPECT_EQ(Chunk[I].B, R.varint());
+          EXPECT_EQ(Chunk[I].C, R.varint());
+          break;
+        }
+        ++Total;
+      }
+    }
+    EXPECT_TRUE(R.atEnd());
+    EXPECT_TRUE(Cur.atEnd());
+    EXPECT_EQ(Total, Trace.numEvents());
+  }
+}
+
+TEST(TraceReplay, ObservedReplayDeliversBatchesInRecordingOrder) {
+  // An observer attached to a replaying runtime must see every event in
+  // recording order, with access runs arriving through onAccessBatch.
+  // The interleaved event sequence (not just totals) is compared against
+  // a straight decode of the trace, so a dropped Strict flush -- which
+  // would reorder accesses against calls/computes while keeping every
+  // count intact -- fails here.
+  auto W = createWorkload("ft");
+  Program P;
+  W->build(P);
+  EventTrace Trace;
+  {
+    RecordingArena Arena;
+    Runtime RT(P, Arena);
+    TraceRecorder Recorder(Trace, Arena);
+    RT.addObserver(&Recorder);
+    W->run(RT, Scale::Test, 2);
+  }
+
+  // One token per observable event, in delivery order; access batches
+  // flatten to one token per access (with the store flag).
+  struct SequenceObserver final : RuntimeObserver {
+    std::vector<std::pair<char, uint64_t>> Seq;
+    uint64_t Batches = 0;
+    void onCall(CallSiteId Site) override { Seq.emplace_back('C', Site); }
+    void onReturn(CallSiteId) override { Seq.emplace_back('R', 0); }
+    void onAlloc(uint64_t, uint64_t Size, CallSiteId) override {
+      Seq.emplace_back('M', Size);
+    }
+    void onFree(uint64_t) override { Seq.emplace_back('F', 0); }
+    void onCompute(uint64_t Cycles) override { Seq.emplace_back('P', Cycles); }
+    void onAccessBatch(const MemAccess *Batch, size_t N) override {
+      ++Batches;
+      for (size_t I = 0; I < N; ++I)
+        Seq.emplace_back(Batch[I].IsStore ? 'S' : 'L', Batch[I].Size);
+    }
+  };
+
+  SizeClassAllocator Alloc;
+  Runtime RT(P, Alloc);
+  SequenceObserver Obs;
+  RT.addObserver(&Obs);
+  RT.replay(Trace);
+
+  // Expected sequence: the trace decoded in recording order. ft has no
+  // reallocs at this scale, so every record maps to exactly one token.
+  ASSERT_EQ(Trace.counts().Reallocs, 0u);
+  std::vector<std::pair<char, uint64_t>> Expected;
+  EventTrace::Reader R = Trace.reader();
+  while (!R.atEnd()) {
+    switch (R.op()) {
+    case TraceOp::Call:
+      Expected.emplace_back('C', R.varint());
+      break;
+    case TraceOp::Return:
+      Expected.emplace_back('R', 0);
+      break;
+    case TraceOp::Alloc:
+      R.varint(); // site
+      Expected.emplace_back('M', R.varint());
+      break;
+    case TraceOp::Free:
+      R.varint();
+      Expected.emplace_back('F', 0);
+      break;
+    case TraceOp::Load:
+      R.varint();
+      R.varint();
+      Expected.emplace_back('L', R.varint());
+      break;
+    case TraceOp::Store:
+      R.varint();
+      R.varint();
+      Expected.emplace_back('S', R.varint());
+      break;
+    case TraceOp::LoadBase:
+      R.varint();
+      Expected.emplace_back('L', R.varint());
+      break;
+    case TraceOp::StoreBase:
+      R.varint();
+      Expected.emplace_back('S', R.varint());
+      break;
+    case TraceOp::LoadRaw:
+      R.varint();
+      Expected.emplace_back('L', R.varint());
+      break;
+    case TraceOp::StoreRaw:
+      R.varint();
+      Expected.emplace_back('S', R.varint());
+      break;
+    case TraceOp::Compute:
+      Expected.emplace_back('P', R.varint());
+      break;
+    case TraceOp::Realloc:
+      FAIL() << "unexpected realloc in the ft trace";
+      break;
+    }
+  }
+  EXPECT_EQ(Obs.Seq, Expected);
+  EXPECT_GT(Obs.Batches, 0u);
+}
+
 TEST(TraceReplay, TraceCacheRecordsOncePerScaleAndSeed) {
   Evaluation Eval(paperSetup("ft"));
   const EventTrace &First = Eval.trace(Scale::Test, 9);
