@@ -23,9 +23,54 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace halo {
 namespace bench {
+
+/// Writes pre-rendered JSON object rows (each "  {...}", no trailing
+/// comma or newline) as an array to \p Path; with \p Append, merges them
+/// into the file's existing array instead (whichever bench owns the
+/// file's fresh write runs first; appenders follow).
+inline void writeJsonRows(const std::string &Path,
+                          const std::vector<std::string> &Rows,
+                          bool Append) {
+  std::string Prefix = "[\n";
+  if (Append) {
+    if (FILE *In = std::fopen(Path.c_str(), "r")) {
+      std::string Existing;
+      char Buf[4096];
+      size_t N;
+      while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+        Existing.append(Buf, N);
+      std::fclose(In);
+      size_t Close = Existing.find_last_of(']');
+      if (Close != std::string::npos) {
+        Prefix = Existing.substr(0, Close);
+        while (!Prefix.empty() &&
+               (Prefix.back() == '\n' || Prefix.back() == ' '))
+          Prefix.pop_back();
+        // An empty existing array must not gain a leading comma (and a
+        // degenerate file still needs its opening bracket).
+        if (Prefix.empty())
+          Prefix = "[\n";
+        else
+          Prefix += Prefix.back() == '[' ? "\n" : ",\n";
+      }
+    }
+  }
+  FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::fputs(Prefix.c_str(), Out);
+  for (size_t I = 0; I < Rows.size(); ++I)
+    std::fprintf(Out, "%s%s\n", Rows[I].c_str(),
+                 I + 1 < Rows.size() ? "," : "");
+  std::fputs("]\n", Out);
+  std::fclose(Out);
+}
 
 /// Trials per configuration. The paper runs 11 and reports medians; the
 /// simulator is deterministic per seed, so a handful of seeds suffices.

@@ -1,0 +1,188 @@
+//===- bench/bench_experiments.cpp - Plan scheduler vs sequential sweeps -----===//
+//
+// The cross-dimension scheduling bench: a mixed evaluation matrix
+// (2 benchmarks x 2 machines x 3 allocator kinds) run two ways --
+//
+//   plan:       one buildPlan/runPlan call whose record and replay stages
+//               span every benchmark and machine at once, and
+//   sequential: the pre-plan shape, one sweepMachines call per benchmark
+//               back to back (each parallel internally, but the pool
+//               drains and refills at every benchmark boundary).
+//
+// Both produce bit-identical cells (asserted); the rows record the
+// wall-clock of each scheduling shape. On a single-core host the two
+// collapse to the same work and the rows document parity; the win needs
+// cores, where the plan keeps all workers busy across the whole matrix.
+//
+// Rows append to BENCH_machines.json ({"bench", "machine", "kind",
+// "wall_ms", "trials", ...}): bench "experiments_mixed", machine the
+// matrix shape, kind "plan" / "sequential"; the plan row's
+// speedup_percent is its improvement over the sequential row.
+//
+//   bench_experiments [--append] [BENCH_machines.json]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "eval/Experiment.h"
+#include "support/Executor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+double nowMs() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+const char *const Benchmarks[] = {"health", "ft"};
+const char *const Machines[] = {"xeon-w2195", "mobile"};
+
+struct OutRow {
+  std::string Kind;
+  double WallMs = 0.0;
+  int Trials = 0;
+  double SpeedupPercent = 0.0;
+};
+
+/// Renders the rows in BENCH_machines.json's schema and merges them into
+/// the file via the shared bench::writeJsonRows (the sweep owns the
+/// file's fresh write, we append).
+void writeJson(const std::string &Path, const std::vector<OutRow> &Rows,
+               bool Append) {
+  std::string MatrixName = std::string(Benchmarks[0]) + "+" + Benchmarks[1] +
+                           "/" + Machines[0] + "+" + Machines[1];
+  std::vector<std::string> Lines;
+  Lines.reserve(Rows.size());
+  for (const OutRow &R : Rows) {
+    char Line[256];
+    int N = std::snprintf(
+        Line, sizeof(Line),
+        "  {\"bench\": \"experiments_mixed\", \"machine\": \"%s\", "
+        "\"kind\": \"%s\", \"wall_ms\": %.6f, \"trials\": %d, "
+        "\"l1d_misses\": 0, \"tlb_misses\": 0, "
+        "\"speedup_percent\": %.4f}",
+        MatrixName.c_str(), R.Kind.c_str(), R.WallMs, R.Trials,
+        R.SpeedupPercent);
+    if (N < 0 || N >= static_cast<int>(sizeof(Line))) {
+      // A truncated fragment would merge into the trajectory file as
+      // malformed JSON with no error.
+      std::fprintf(stderr, "bench_experiments: row too long\n");
+      std::exit(1);
+    }
+    Lines.push_back(Line);
+  }
+  bench::writeJsonRows(Path, Lines, Append);
+}
+
+void expectIdentical(const RunMetrics &A, const RunMetrics &B,
+                     const char *Where) {
+  if (A.Cycles != B.Cycles || A.Mem.L1Misses != B.Mem.L1Misses ||
+      A.Mem.TlbMisses != B.Mem.TlbMisses) {
+    std::fprintf(stderr,
+                 "bench_experiments: plan and sequential sweeps diverged "
+                 "(%s)\n",
+                 Where);
+    std::exit(1);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Append = false;
+  std::string OutPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--append") == 0)
+      Append = true;
+    else
+      OutPath = Argv[I];
+  }
+
+  const int Trials = bench::trials();
+  std::vector<const MachineConfig *> MachinePtrs;
+  for (const char *Name : Machines) {
+    const MachineConfig *M = findMachine(Name);
+    if (!M) {
+      // A null entry would silently mean "the setup's machine" to the
+      // plan; a renamed preset must fail loudly instead.
+      std::fprintf(stderr, "bench_experiments: unknown machine preset %s\n",
+                   Name);
+      return 1;
+    }
+    MachinePtrs.push_back(M);
+  }
+
+  // Plan shape: the whole matrix in one spec; record and replay tasks
+  // span both benchmarks and both machines.
+  double PlanStart = nowMs();
+  ExperimentSpec Spec;
+  Spec.Benchmarks.assign(std::begin(Benchmarks), std::end(Benchmarks));
+  Spec.Machines = MachinePtrs;
+  Spec.S = Scale::Ref;
+  Spec.Trials = Trials;
+  ExperimentPlan Plan = buildPlan({Spec});
+  ResultSet Results = runPlan(Plan, /*Jobs=*/0);
+  double PlanMs = nowMs() - PlanStart;
+
+  // Sequential shape: one sweepMachines call per benchmark, back to back.
+  double SeqStart = nowMs();
+  std::vector<std::vector<SweepCell>> Sequential;
+  for (const char *Name : Benchmarks) {
+    Evaluation Eval(paperSetup(Name));
+    Sequential.push_back(sweepMachines(Eval, MachinePtrs, Trials, Scale::Ref,
+                                       /*SeedBase=*/100, /*Jobs=*/0));
+  }
+  double SeqMs = nowMs() - SeqStart;
+
+  // Scheduling must never change the numbers: every sequential cell has a
+  // bit-identical twin in the plan's ResultSet.
+  static const AllocatorKind Kinds[] = {
+      AllocatorKind::Jemalloc, AllocatorKind::Hds, AllocatorKind::Halo};
+  for (size_t B = 0; B < Sequential.size(); ++B)
+    for (size_t M = 0; M < MachinePtrs.size(); ++M)
+      for (size_t K = 0; K < 3; ++K) {
+        const SweepCell &Cell = Sequential[B][M * 3 + K];
+        const ResultSet::Cell *Twin = Results.find(
+            Benchmarks[B], MachinePtrs[M]->Name, Kinds[K], Scale::Ref);
+        if (!Twin || Twin->Runs.size() != Cell.Runs.size()) {
+          std::fprintf(stderr, "bench_experiments: missing plan cell\n");
+          return 1;
+        }
+        for (size_t T = 0; T < Cell.Runs.size(); ++T)
+          expectIdentical(Cell.Runs[T], Twin->Runs[T], Benchmarks[B]);
+      }
+
+  std::vector<OutRow> Rows(2);
+  Rows[0] = {"plan", PlanMs, Trials,
+             percentImprovement(SeqMs, PlanMs)};
+  Rows[1] = {"sequential", SeqMs, Trials, 0.0};
+
+  Report Table("Mixed sweep scheduling: one plan vs back-to-back sweeps");
+  Table.setColumns({"shape", "wall_ms", "trials", "vs sequential"});
+  for (const OutRow &R : Rows)
+    Table.addRow({R.Kind, formatDouble(R.WallMs, 3),
+                  std::to_string(R.Trials),
+                  formatPercent(R.SpeedupPercent, 2)});
+  Table.addNote("2 benchmarks x 2 machines x 3 kinds, jobs=0 (hardware "
+                "concurrency), bit-identical cells asserted; the plan's "
+                "cross-dimension stages need cores to pull ahead");
+  Table.print();
+
+  if (!OutPath.empty()) {
+    writeJson(OutPath, Rows, Append);
+    std::printf("\n%s %s (%zu rows)\n", Append ? "appended to" : "wrote",
+                OutPath.c_str(), Rows.size());
+  }
+  return 0;
+}

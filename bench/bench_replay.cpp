@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "eval/Evaluation.h"
 #include "mem/SizeClassAllocator.h"
 #include "trace/EventTrace.h"
@@ -71,50 +72,28 @@ template <typename Fn> double medianMs(int Trials, Fn &&Run) {
 
 /// Writes \p Rows as a JSON array to \p Path; with \p Append, merges them
 /// into the existing array instead (the grouping bench owns the file's
-/// fresh write).
+/// fresh write). The merge itself is the shared bench::writeJsonRows.
 void writeJson(const std::string &Path, const std::vector<BenchRow> &Rows,
                bool Append) {
-  std::string Prefix = "[\n";
-  if (Append) {
-    if (FILE *In = std::fopen(Path.c_str(), "r")) {
-      std::string Existing;
-      char Buf[4096];
-      size_t N;
-      while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
-        Existing.append(Buf, N);
-      std::fclose(In);
-      size_t Close = Existing.find_last_of(']');
-      if (Close != std::string::npos) {
-        Prefix = Existing.substr(0, Close);
-        while (!Prefix.empty() &&
-               (Prefix.back() == '\n' || Prefix.back() == ' '))
-          Prefix.pop_back();
-        // An empty existing array must not gain a leading comma (and a
-        // degenerate file still needs its opening bracket).
-        if (Prefix.empty())
-          Prefix = "[\n";
-        else
-          Prefix += Prefix.back() == '[' ? "\n" : ",\n";
-      }
+  std::vector<std::string> Lines;
+  Lines.reserve(Rows.size());
+  for (const BenchRow &R : Rows) {
+    char Line[256];
+    int N = std::snprintf(
+        Line, sizeof(Line),
+        "  {\"bench\": \"%s\", \"nodes\": %llu, \"edges\": %llu, "
+        "\"wall_ms\": %.3f, \"trials\": %d}",
+        R.Bench.c_str(), static_cast<unsigned long long>(R.Nodes),
+        static_cast<unsigned long long>(R.Edges), R.WallMs, R.Trials);
+    if (N < 0 || N >= static_cast<int>(sizeof(Line))) {
+      // A truncated fragment would merge into the trajectory file as
+      // malformed JSON with no error.
+      std::fprintf(stderr, "bench row for %s too long\n", R.Bench.c_str());
+      std::exit(1);
     }
+    Lines.push_back(Line);
   }
-  FILE *Out = std::fopen(Path.c_str(), "w");
-  if (!Out) {
-    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
-    std::exit(1);
-  }
-  std::fputs(Prefix.c_str(), Out);
-  for (size_t I = 0; I < Rows.size(); ++I) {
-    const BenchRow &R = Rows[I];
-    std::fprintf(Out,
-                 "  {\"bench\": \"%s\", \"nodes\": %llu, \"edges\": %llu, "
-                 "\"wall_ms\": %.3f, \"trials\": %d}%s\n",
-                 R.Bench.c_str(), static_cast<unsigned long long>(R.Nodes),
-                 static_cast<unsigned long long>(R.Edges), R.WallMs, R.Trials,
-                 I + 1 < Rows.size() ? "," : "");
-  }
-  std::fprintf(Out, "]\n");
-  std::fclose(Out);
+  bench::writeJsonRows(Path, Lines, Append);
 }
 
 const AllocatorKind SweepKinds[] = {

@@ -10,7 +10,9 @@
 #   BENCH_machines.json  {"bench", "machine", "kind", "wall_ms", "trials"}
 #     (+ l1d_misses / tlb_misses / speedup_percent detail fields), the
 #     halo_cli cross-machine sweep: jemalloc/hds/halo medians on every
-#     machine preset.
+#     machine preset. bench_experiments appends its experiments_mixed
+#     rows: the same mixed matrix scheduled as one experiment plan vs
+#     back-to-back sweepMachines calls (plan / sequential kinds).
 # so successive PRs can track the perf trajectory.
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: build)
@@ -24,7 +26,8 @@ case "$BUILD" in
   *) BUILD="$ROOT/$BUILD" ;;
 esac
 
-for Bench in bench/bench_grouping_scale bench/bench_replay examples/halo_cli; do
+for Bench in bench/bench_grouping_scale bench/bench_replay \
+             bench/bench_experiments examples/halo_cli; do
   if [[ ! -x "$BUILD/$Bench" ]]; then
     echo "error: $BUILD/$Bench not built; run: cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j" >&2
     exit 1
@@ -39,9 +42,13 @@ echo "BENCH_pipeline.json updated:"
 cat "$ROOT/BENCH_pipeline.json"
 
 # Cross-machine sweep on two contrasting benchmarks (health: TLB-bound
-# pointer chasing; xalanc: deep call chains). Traces record once per
-# benchmark and replay on every machine preset.
+# pointer chasing; xalanc: deep call chains). One experiment plan:
+# traces record once per benchmark and replay on every machine preset.
 "$BUILD/examples/halo_cli" sweep health xalanc --trials "$TRIALS" \
     --out "$ROOT/BENCH_machines.json"
+
+# Mixed-matrix scheduling row: the plan scheduler vs back-to-back
+# per-benchmark sweeps (bit-identical cells; the win needs cores).
+"$BUILD/bench/bench_experiments" --append "$ROOT/BENCH_machines.json"
 echo "BENCH_machines.json updated:"
 cat "$ROOT/BENCH_machines.json"

@@ -16,20 +16,27 @@
 //   halo_cli plot [benchmark...] [--trials N] [--jobs N] [--machine NAME]
 //   halo_cli machines                # list the machine presets
 //   halo_cli sweep [benchmark...] [--trials N] [--jobs N] [--out FILE]
+//   halo_cli experiments [benchmark...] [--machines NAME,...|all]
+//            [--kinds KIND,...] [--scale test|ref] [--seed-base N]
+//            [--trials N] [--jobs N] [--out FILE]
 //
 // Measurements run on a simulated machine model (sim/Machine.h); --machine
 // selects a preset (default: xeon-w2195, the paper's evaluation machine).
-// `sweep` measures jemalloc/HDS/HALO on every preset (or just the one
-// --machine names) — the recorded traces and pipeline artifacts are
-// machine-independent, so each benchmark records once and replays per
-// machine — and writes the per-machine rows to BENCH_machines.json.
-// Trials are recorded once per seed into an event
-// trace and measured by replay, fanned out across --jobs worker threads;
-// `plot` additionally shards whole benchmarks across the same pool.
+// Every measuring subcommand expands to an ExperimentSpec and executes
+// through the one plan scheduler (eval/Experiment.h): traces record once
+// per (benchmark, scale, seed), pipeline artifacts materialise once per
+// benchmark, and the requested cells replay across --jobs workers at
+// benchmark x machine x kind x trial granularity. `sweep` measures
+// jemalloc/HDS/HALO on every preset (or just the one --machine names) and
+// writes the per-machine rows to BENCH_machines.json; `experiments` takes
+// the full matrix spec -- lists of benchmarks, machines, and allocator
+// kinds -- and writes the unified JSON keyed by the full measurement key.
+// --out redirects any JSON-emitting subcommand's document to a file.
 //
 //===----------------------------------------------------------------------===//
 
 #include "eval/Evaluation.h"
+#include "eval/Experiment.h"
 #include "eval/Report.h"
 #include "support/Format.h"
 #include "support/Stats.h"
@@ -39,8 +46,6 @@
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -53,7 +58,13 @@ struct CliOptions {
   std::string Benchmark;
   std::vector<std::string> Benchmarks;
   std::string Machine; ///< Empty = default preset.
-  std::string OutPath; ///< sweep: JSON output file ("" = stdout only).
+  std::vector<std::string> MachineList; ///< experiments: --machines.
+  std::vector<std::string> KindList;    ///< experiments: --kinds.
+  Scale S = Scale::Ref;                 ///< experiments: --scale.
+  uint64_t SeedBase = 100;              ///< experiments: --seed-base.
+  bool SawScale = false;                ///< --scale given explicitly.
+  bool SawSeedBase = false;             ///< --seed-base given explicitly.
+  std::string OutPath; ///< JSON output file ("" = stdout).
   int Trials = 3;
   int Jobs = 0; ///< 0 = hardware concurrency.
   uint64_t ChunkSize = 0;
@@ -68,57 +79,137 @@ struct CliOptions {
       "usage: halo_cli <baseline|run|hds|trace> <benchmark> [flags]\n"
       "       halo_cli plot [benchmark...] [flags]\n"
       "       halo_cli sweep [benchmark...] [flags]   # all machines -> JSON\n"
+      "       halo_cli experiments [benchmark...] [flags]  # matrix -> JSON\n"
       "       halo_cli machines                       # list machine presets\n"
       "flags: --trials N  --jobs N  --machine NAME  --chunk-size BYTES\n"
       "       --max-spare-chunks N  --max-groups N  --affinity-distance BYTES\n"
-      "       --out FILE (sweep)\n"
+      "       --out FILE (any JSON-emitting command)\n"
+      "       --machines NAME[,NAME...]|all  --kinds KIND[,KIND...]\n"
+      "       --scale test|ref  --seed-base N  (experiments)\n"
       "benchmarks:");
   for (const std::string &Name : workloadNames())
     std::fprintf(stderr, " %s", Name.c_str());
   std::fprintf(stderr, "\nmachines:");
   for (const std::string &Name : machineNames())
     std::fprintf(stderr, " %s", Name.c_str());
+  std::fprintf(stderr, "\nkinds:");
+  for (AllocatorKind Kind : allAllocatorKinds())
+    std::fprintf(stderr, " %s", allocatorKindName(Kind));
   std::fprintf(stderr, "\n");
   std::exit(1);
 }
 
-[[noreturn]] void usageError(const char *Format, const char *A,
-                             const char *B = "") {
-  std::fprintf(stderr, "halo_cli: error: ");
-  std::fprintf(stderr, Format, A, B);
-  std::fprintf(stderr, "\n");
+[[noreturn]] void usageError(const std::string &Message) {
+  std::fprintf(stderr, "halo_cli: error: %s\n", Message.c_str());
   usage();
 }
 
-/// Strict decimal parse: the whole value must be digits and fit
-/// [Min, Max] (atoi's silent "--trials x" -> 0, and a narrowing cast's
-/// silent "--trials 4294967296" -> 0, are exactly the bugs this forbids).
-uint64_t parseUnsigned(const std::string &Flag, const char *Text,
-                       uint64_t Min, uint64_t Max = UINT64_MAX) {
-  if (*Text == '\0' || !std::isdigit(static_cast<unsigned char>(*Text)))
-    usageError("invalid value for %s: '%s' (expected a number)",
-               Flag.c_str(), Text);
-  errno = 0;
-  char *End = nullptr;
-  unsigned long long Value = std::strtoull(Text, &End, 10);
-  if (*End != '\0')
-    usageError("invalid value for %s: '%s' (expected a number)",
-               Flag.c_str(), Text);
-  if (errno == ERANGE || Value > Max)
-    usageError("value for %s out of range: '%s'", Flag.c_str(), Text);
-  if (Value < Min)
-    usageError("value for %s too small: '%s'", Flag.c_str(), Text);
-  return Value;
+/// Space-joined machine preset names for error messages.
+std::string knownMachines() {
+  std::string Known;
+  for (const std::string &Name : machineNames())
+    Known += (Known.empty() ? "" : " ") + Name;
+  return Known;
 }
 
-/// The one --jobs handler, shared by every subcommand: a strict numeric
-/// worker count, where 0 explicitly requests the "pick for me" default.
-/// What that default means -- hardware concurrency, never less than one
-/// -- is decided in exactly one place, halo::resolveJobs
-/// (support/Executor.h), which every parallel path in the library
-/// consults too.
-int parseJobs(const std::string &Flag, const char *Text) {
-  return static_cast<int>(parseUnsigned(Flag, Text, /*Min=*/0, INT_MAX));
+/// Space-joined allocator kind names for error messages.
+std::string knownKinds() {
+  std::string Known;
+  for (AllocatorKind Kind : allAllocatorKinds())
+    Known += (Known.empty() ? "" : " ") + std::string(allocatorKindName(Kind));
+  return Known;
+}
+
+/// Strict argument cursor shared by every subcommand's flag handling:
+/// yields arguments in order and owns the error-checked value parsing --
+/// raw values, bounded numbers, worker counts, machine names, comma
+/// lists -- so each new subcommand composes its flags from these helpers
+/// instead of re-rolling the parse loop.
+class FlagParser {
+public:
+  FlagParser(int Argc, char **Argv, int First)
+      : Argc(Argc), Argv(Argv), I(First) {}
+
+  bool done() const { return I >= Argc; }
+  std::string next() { return Argv[I++]; }
+
+  /// The raw value following flag \p Flag; errors if none is left.
+  const char *value(const std::string &Flag) {
+    if (I >= Argc)
+      usageError("flag " + Flag + " expects a value");
+    return Argv[I++];
+  }
+
+  /// Strict decimal parse: the whole value must be digits and fit
+  /// [Min, Max] (atoi's silent "--trials x" -> 0, and a narrowing cast's
+  /// silent "--trials 4294967296" -> 0, are exactly the bugs this
+  /// forbids).
+  uint64_t unsignedValue(const std::string &Flag, uint64_t Min,
+                         uint64_t Max = UINT64_MAX) {
+    const char *Text = value(Flag);
+    if (*Text == '\0' || !std::isdigit(static_cast<unsigned char>(*Text)))
+      usageError("invalid value for " + Flag + ": '" + Text +
+                 "' (expected a number)");
+    errno = 0;
+    char *End = nullptr;
+    unsigned long long Parsed = std::strtoull(Text, &End, 10);
+    if (*End != '\0')
+      usageError("invalid value for " + Flag + ": '" + Text +
+                 "' (expected a number)");
+    if (errno == ERANGE || Parsed > Max)
+      usageError("value for " + Flag + " out of range: '" + Text + "'");
+    if (Parsed < Min)
+      usageError("value for " + Flag + " too small: '" + Text + "'");
+    return Parsed;
+  }
+
+  /// The one --jobs handler: a strict numeric worker count, where 0
+  /// explicitly requests the "pick for me" default. What that default
+  /// means -- hardware concurrency, never less than one -- is decided in
+  /// exactly one place, halo::resolveJobs (support/Executor.h), which
+  /// every parallel path in the library consults too.
+  int jobsValue(const std::string &Flag) {
+    return static_cast<int>(unsignedValue(Flag, /*Min=*/0, INT_MAX));
+  }
+
+  /// A validated machine-preset lookup, listing the presets on error.
+  const MachineConfig *machineValue(const std::string &Flag) {
+    std::string Name = value(Flag);
+    const MachineConfig *Machine = findMachine(Name);
+    if (!Machine)
+      usageError("unknown machine '" + Name + "' for " + Flag +
+                 " (available: " + knownMachines() + ")");
+    return Machine;
+  }
+
+  /// A comma-separated list; empty items are rejected.
+  std::vector<std::string> listValue(const std::string &Flag) {
+    std::string Text = value(Flag);
+    std::vector<std::string> Items;
+    size_t Start = 0;
+    while (Start <= Text.size()) {
+      size_t Comma = Text.find(',', Start);
+      if (Comma == std::string::npos)
+        Comma = Text.size();
+      if (Comma == Start)
+        usageError("empty item in " + Flag + " list '" + Text + "'");
+      Items.push_back(Text.substr(Start, Comma - Start));
+      Start = Comma + 1;
+    }
+    return Items;
+  }
+
+private:
+  int Argc;
+  char **Argv;
+  int I;
+};
+
+/// True when \p Command writes a JSON document (and thus honours --out).
+bool emitsJson(const std::string &Command) {
+  return Command == "baseline" || Command == "run" || Command == "hds" ||
+         Command == "trace" || Command == "sweep" ||
+         Command == "experiments";
 }
 
 CliOptions parseArgs(int Argc, char **Argv) {
@@ -127,57 +218,115 @@ CliOptions parseArgs(int Argc, char **Argv) {
     usage();
   Opts.Command = Argv[1];
   bool ListCommand = Opts.Command == "plot" || Opts.Command == "sweep" ||
+                     Opts.Command == "experiments" ||
                      Opts.Command == "machines";
-  int I = 2;
+  int First = 2;
   if (!ListCommand) {
     if (Argc < 3 || Argv[2][0] == '-')
       usage();
     Opts.Benchmark = Argv[2];
-    I = 3;
+    First = 3;
   }
-  for (; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    auto Value = [&]() -> const char * {
-      if (I + 1 >= Argc)
-        usageError("flag %s expects a value", Arg.c_str());
-      return Argv[++I];
-    };
+  FlagParser Args(Argc, Argv, First);
+  while (!Args.done()) {
+    std::string Arg = Args.next();
     if (Arg == "--trials")
       Opts.Trials =
-          static_cast<int>(parseUnsigned(Arg, Value(), /*Min=*/1, INT_MAX));
+          static_cast<int>(Args.unsignedValue(Arg, /*Min=*/1, INT_MAX));
     else if (Arg == "--jobs")
-      Opts.Jobs = parseJobs(Arg, Value());
-    else if (Arg == "--machine") {
-      Opts.Machine = Value();
-      if (!findMachine(Opts.Machine)) {
-        std::string Known;
-        for (const std::string &Name : machineNames())
-          Known += (Known.empty() ? "" : " ") + Name;
-        usageError("unknown machine '%s' (available: %s)",
-                   Opts.Machine.c_str(), Known.c_str());
-      }
-    } else if (Arg == "--out")
-      Opts.OutPath = Value();
+      Opts.Jobs = Args.jobsValue(Arg);
+    else if (Arg == "--machine")
+      Opts.Machine = Args.machineValue(Arg)->Name;
+    else if (Arg == "--machines")
+      Opts.MachineList = Args.listValue(Arg);
+    else if (Arg == "--kinds")
+      Opts.KindList = Args.listValue(Arg);
+    else if (Arg == "--scale") {
+      std::string Name = Args.value(Arg);
+      std::optional<Scale> S = parseScale(Name);
+      if (!S)
+        usageError("unknown scale '" + Name + "' for " + Arg +
+                   " (available: test ref)");
+      Opts.S = *S;
+      Opts.SawScale = true;
+    } else if (Arg == "--seed-base") {
+      Opts.SeedBase = Args.unsignedValue(Arg, /*Min=*/0);
+      Opts.SawSeedBase = true;
+    }
+    else if (Arg == "--out")
+      Opts.OutPath = Args.value(Arg);
     else if (Arg == "--chunk-size")
-      Opts.ChunkSize = parseUnsigned(Arg, Value(), /*Min=*/1);
+      Opts.ChunkSize = Args.unsignedValue(Arg, /*Min=*/1);
     else if (Arg == "--max-spare-chunks")
-      Opts.MaxSpareChunks = static_cast<int>(
-          parseUnsigned(Arg, Value(), /*Min=*/0, INT_MAX));
+      Opts.MaxSpareChunks =
+          static_cast<int>(Args.unsignedValue(Arg, /*Min=*/0, INT_MAX));
     else if (Arg == "--max-groups")
       Opts.MaxGroups = static_cast<uint32_t>(
-          parseUnsigned(Arg, Value(), /*Min=*/1, UINT32_MAX));
+          Args.unsignedValue(Arg, /*Min=*/1, UINT32_MAX));
     else if (Arg == "--affinity-distance")
-      Opts.AffinityDistance = parseUnsigned(Arg, Value(), /*Min=*/1);
+      Opts.AffinityDistance = Args.unsignedValue(Arg, /*Min=*/1);
     else if (Arg[0] == '-')
-      usageError("unknown flag '%s'", Arg.c_str());
+      usageError("unknown flag '" + Arg + "'");
     else if (ListCommand && Opts.Command != "machines")
       Opts.Benchmarks.push_back(Arg);
     else
-      usageError("unexpected argument '%s'", Arg.c_str());
+      usageError("unexpected argument '" + Arg + "'");
   }
-  if (!Opts.OutPath.empty() && Opts.Command != "sweep")
-    usageError("--out is only valid with the sweep command%s", "");
+  if (!Opts.OutPath.empty() && !emitsJson(Opts.Command))
+    usageError("--out is not supported by the " + Opts.Command +
+               " command (it emits no JSON)");
+  if (Opts.Command != "experiments") {
+    if (!Opts.MachineList.empty())
+      usageError("--machines is only valid with the experiments command "
+                 "(use --machine)");
+    if (!Opts.KindList.empty())
+      usageError("--kinds is only valid with the experiments command");
+    if (Opts.SawScale)
+      usageError("--scale is only valid with the experiments command");
+    if (Opts.SawSeedBase)
+      usageError("--seed-base is only valid with the experiments command");
+  } else if (!Opts.MachineList.empty() && !Opts.Machine.empty()) {
+    // --machine would only set the setup machine (which cannot affect
+    // the machine-independent artifacts) while --machines names the
+    // measured cells; accepting both would silently drop one.
+    usageError("--machine and --machines cannot be combined (list every "
+               "measured machine in --machines)");
+  }
   return Opts;
+}
+
+/// Opens the --out path for one JSON document ("" = stdout). Callers
+/// open BEFORE measuring so an unwritable path fails fast instead of
+/// discarding an arbitrarily long run; the stream actually targets
+/// Path + ".tmp" so an interrupted or failed run never clobbers the
+/// previous file — closeOutput() renames it into place on success.
+FILE *openOutput(const std::string &Path) {
+  if (Path.empty())
+    return stdout;
+  std::string TmpPath = Path + ".tmp";
+  FILE *Out = std::fopen(TmpPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "halo_cli: cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  return Out;
+}
+
+/// Closes an openOutput() stream, moves the temp file into place, and
+/// acknowledges file writes; \p Detail is appended to the notice
+/// (e.g. " (12 rows)").
+void closeOutput(FILE *Out, const std::string &Path,
+                 const std::string &Detail = "") {
+  if (Out == stdout)
+    return;
+  std::fclose(Out);
+  std::string TmpPath = Path + ".tmp";
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::fprintf(stderr, "halo_cli: cannot move %s into place\n",
+                 Path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s%s\n", Path.c_str(), Detail.c_str());
 }
 
 /// The machine the options name (parseArgs already rejected unknown names).
@@ -210,37 +359,6 @@ BenchmarkSetup setupFor(const CliOptions &Opts) {
   return setupFor(Opts, Opts.Benchmark);
 }
 
-void printRunsJson(const std::string &Benchmark, const std::string &Config,
-                   const std::vector<RunMetrics> &Runs) {
-  std::printf("{\n  \"benchmark\": \"%s\",\n  \"configuration\": \"%s\",\n"
-              "  \"runs\": [\n",
-              Benchmark.c_str(), Config.c_str());
-  for (size_t I = 0; I < Runs.size(); ++I) {
-    const RunMetrics &M = Runs[I];
-    std::printf("    {\"seconds\": %.9f, \"cycles\": %llu, "
-                "\"l1d_accesses\": %llu, \"l1d_misses\": %llu, "
-                "\"l2_misses\": %llu, \"l3_misses\": %llu, "
-                "\"tlb_misses\": %llu, \"grouped_allocs\": %llu, "
-                "\"forwarded_allocs\": %llu, \"frag_percent\": %.4f, "
-                "\"frag_bytes\": %llu}%s\n",
-                M.Seconds, (unsigned long long)M.Cycles,
-                (unsigned long long)M.Mem.Accesses,
-                (unsigned long long)M.Mem.L1Misses,
-                (unsigned long long)M.Mem.L2Misses,
-                (unsigned long long)M.Mem.L3Misses,
-                (unsigned long long)M.Mem.TlbMisses,
-                (unsigned long long)M.GroupedAllocs,
-                (unsigned long long)M.ForwardedAllocs,
-                M.Frag.wastedPercent(),
-                (unsigned long long)M.Frag.wastedBytes(),
-                I + 1 < Runs.size() ? "," : "");
-  }
-  std::printf("  ],\n  \"median_seconds\": %.9f,\n"
-              "  \"median_l1d_misses\": %.0f\n}\n",
-              Evaluation::medianSeconds(Runs),
-              Evaluation::medianL1Misses(Runs));
-}
-
 void asciiBar(const char *Label, double Percent, double FullScale) {
   int Width = static_cast<int>(40.0 * std::abs(Percent) / FullScale);
   if (Width > 40)
@@ -256,7 +374,7 @@ std::vector<std::string> benchmarkList(const CliOptions &Opts) {
       Opts.Benchmarks.empty() ? workloadNames() : Opts.Benchmarks;
   for (const std::string &Name : Names)
     if (!createWorkload(Name))
-      usageError("unknown benchmark '%s'", Name.c_str());
+      usageError("unknown benchmark '" + Name + "'");
   return Names;
 }
 
@@ -266,8 +384,9 @@ int runPlot(const CliOptions &Opts) {
   std::printf("HALO vs jemalloc on %s (top: L1D miss reduction, bottom: "
               "speedup), %d trial(s)\n\n",
               M.Name.c_str(), Opts.Trials);
-  // Whole benchmarks are sharded across the worker pool; rows come back in
-  // request order and bit-identical to a serial run.
+  // One plan behind the scenes: cells fan out at benchmark x kind x trial
+  // granularity; rows come back in request order and bit-identical to a
+  // serial run.
   std::vector<ComparisonRow> Rows =
       compareAcrossBenchmarks(Names, Opts.Trials, Scale::Ref, Opts.Jobs, M);
   for (const ComparisonRow &Row : Rows) {
@@ -297,42 +416,6 @@ int runMachines() {
   return 0;
 }
 
-/// One BENCH_machines.json row: a (benchmark, machine, allocator kind)
-/// cell of the cross-machine sweep.
-struct SweepRow {
-  std::string Bench;
-  std::string Machine;
-  std::string Kind;
-  double WallMs;  ///< Median simulated run time on that machine, in ms.
-  int Trials;
-  double L1dMisses; ///< Median per-run L1D misses.
-  double TlbMisses; ///< Median per-run dTLB misses.
-  double SpeedupPercent; ///< vs jemalloc on the same machine (0 for it).
-};
-
-void writeSweepJson(const std::string &Path,
-                    const std::vector<SweepRow> &Rows) {
-  FILE *Out = std::fopen(Path.c_str(), "w");
-  if (!Out) {
-    std::fprintf(stderr, "halo_cli: cannot write %s\n", Path.c_str());
-    std::exit(1);
-  }
-  std::fputs("[\n", Out);
-  for (size_t I = 0; I < Rows.size(); ++I) {
-    const SweepRow &R = Rows[I];
-    std::fprintf(Out,
-                 "  {\"bench\": \"%s\", \"machine\": \"%s\", "
-                 "\"kind\": \"%s\", \"wall_ms\": %.6f, \"trials\": %d, "
-                 "\"l1d_misses\": %.0f, \"tlb_misses\": %.0f, "
-                 "\"speedup_percent\": %.4f}%s\n",
-                 R.Bench.c_str(), R.Machine.c_str(), R.Kind.c_str(),
-                 R.WallMs, R.Trials, R.L1dMisses, R.TlbMisses,
-                 R.SpeedupPercent, I + 1 < Rows.size() ? "," : "");
-  }
-  std::fputs("]\n", Out);
-  std::fclose(Out);
-}
-
 int runSweep(const CliOptions &Opts) {
   std::vector<std::string> Names = benchmarkList(Opts);
   // Default: every preset; --machine narrows the sweep to one.
@@ -342,82 +425,97 @@ int runSweep(const CliOptions &Opts) {
       Machines.push_back(&M);
   else
     Machines.push_back(&machineFor(Opts));
-  std::vector<SweepRow> Rows;
 
-  Report Table("Cross-machine sweep: median run time / misses per machine");
-  Table.setColumns({"bench", "machine", "kind", "wall_ms", "l1d_misses",
-                    "tlb_misses", "speedup%"});
-
-  auto KindName = [](AllocatorKind Kind) {
-    switch (Kind) {
-    case AllocatorKind::Jemalloc:
-      return "jemalloc";
-    case AllocatorKind::Hds:
-      return "hds";
-    case AllocatorKind::Halo:
-      return "halo";
-    default:
-      return "?";
-    }
+  // One plan across the whole benchmark x machine matrix: each benchmark
+  // records its traces and materialises its pipelines once, and the
+  // replay stage spans every (benchmark, machine, kind, trial) cell, so
+  // mixed sweeps keep all --jobs workers busy. Cells come back
+  // benchmark-major, machine-major inside, kinds in jemalloc/hds/halo
+  // order -- bit-identical to a serial sweep.
+  ExperimentSpec Spec;
+  Spec.Benchmarks = Names;
+  Spec.Machines = Machines;
+  Spec.Kinds = {AllocatorKind::Jemalloc, AllocatorKind::Hds,
+                AllocatorKind::Halo};
+  Spec.S = Scale::Ref;
+  Spec.Trials = Opts.Trials;
+  Spec.MakeSetup = [&Opts](const std::string &Name) {
+    return setupFor(Opts, Name);
   };
+  FILE *Out = Opts.OutPath.empty() ? nullptr : openOutput(Opts.OutPath);
+  ExperimentPlan Plan = buildPlan({Spec});
+  ResultSet Results = runPlan(Plan, Opts.Jobs);
 
-  for (const std::string &Name : Names) {
-    // One Evaluation per benchmark: traces and pipeline artifacts are
-    // machine-independent, so every machine replays the same per-seed
-    // recordings and shares one profiling pass. sweepMachines fans the
-    // per-machine loop (and trial fan-out inside it) across the worker
-    // pool; cells come back machine-major in preset order, bit-identical
-    // to a serial sweep.
-    Evaluation Eval(setupFor(Opts, Name));
-    std::vector<SweepCell> Cells = sweepMachines(
-        Eval, Machines, Opts.Trials, Scale::Ref, /*SeedBase=*/100,
-        Opts.Jobs);
-    // speedup% compares each cell against its machine's jemalloc cell;
-    // identified by Kind, not by position, so the cell layout is free to
-    // change without mislabelling rows.
-    std::map<const MachineConfig *, double> BaselineSeconds;
-    for (const SweepCell &Cell : Cells)
-      if (Cell.Kind == AllocatorKind::Jemalloc)
-        BaselineSeconds[Cell.Machine] = Evaluation::medianSeconds(Cell.Runs);
-    for (const SweepCell &Cell : Cells) {
-      double Seconds = Evaluation::medianSeconds(Cell.Runs);
-      SweepRow Row;
-      Row.Bench = Name;
-      Row.Machine = Cell.Machine->Name;
-      Row.Kind = KindName(Cell.Kind);
-      Row.WallMs = Seconds * 1e3;
-      Row.Trials = Opts.Trials;
-      Row.L1dMisses = Evaluation::medianL1Misses(Cell.Runs);
-      Row.TlbMisses = Evaluation::medianTlbMisses(Cell.Runs);
-      Row.SpeedupPercent =
-          Cell.Kind == AllocatorKind::Jemalloc
-              ? 0.0
-              : percentImprovement(BaselineSeconds.at(Cell.Machine),
-                                   Seconds);
-      Table.addRow({Row.Bench, Row.Machine, Row.Kind,
-                    formatDouble(Row.WallMs, 3),
-                    formatDouble(Row.L1dMisses, 0),
-                    formatDouble(Row.TlbMisses, 0),
-                    formatDouble(Row.SpeedupPercent, 2)});
-      Rows.push_back(std::move(Row));
-    }
-  }
-
-  Table.addNote("wall_ms: median simulated run time on that machine; "
-                "speedup%: vs jemalloc on the same machine");
-  Table.print();
-  if (!Opts.OutPath.empty()) {
-    writeSweepJson(Opts.OutPath, Rows);
-    std::printf("wrote %s (%zu rows)\n", Opts.OutPath.c_str(), Rows.size());
+  std::vector<SweepRow> Rows = sweepRows(Results);
+  sweepReport(Rows).print();
+  if (Out) {
+    writeSweepJson(Out, Rows);
+    closeOutput(Out, Opts.OutPath,
+                " (" + std::to_string(Rows.size()) + " rows)");
   }
   return 0;
 }
 
+int runExperiments(const CliOptions &Opts) {
+  ExperimentSpec Spec;
+  Spec.Benchmarks = benchmarkList(Opts);
+  // --machines: preset names or "all"; default is the --machine preset
+  // (or the setup default) as a single-machine matrix.
+  for (const std::string &Name : Opts.MachineList) {
+    if (Name == "all") {
+      for (const MachineConfig &M : machinePresets())
+        Spec.Machines.push_back(&M);
+      continue;
+    }
+    const MachineConfig *M = findMachine(Name);
+    if (!M)
+      usageError("unknown machine '" + Name + "' in --machines (available: " +
+                 knownMachines() + " all)");
+    Spec.Machines.push_back(M);
+  }
+  if (Spec.Machines.empty() && !Opts.Machine.empty())
+    Spec.Machines.push_back(&machineFor(Opts));
+  if (!Opts.KindList.empty()) {
+    Spec.Kinds.clear();
+    for (const std::string &Name : Opts.KindList) {
+      std::optional<AllocatorKind> Kind = parseAllocatorKind(Name);
+      if (!Kind)
+        usageError("unknown allocator kind '" + Name +
+                   "' in --kinds (available: " + knownKinds() + ")");
+      Spec.Kinds.push_back(*Kind);
+    }
+  }
+  Spec.S = Opts.S;
+  Spec.Trials = Opts.Trials;
+  Spec.SeedBase = Opts.SeedBase;
+  Spec.MakeSetup = [&Opts](const std::string &Name) {
+    return setupFor(Opts, Name);
+  };
+
+  FILE *Out = openOutput(Opts.OutPath);
+  ExperimentPlan Plan = buildPlan({Spec});
+  ResultSet Results = runPlan(Plan, Opts.Jobs);
+  if (Out != stdout) {
+    // With a file destination the console gets the human-readable view.
+    experimentsReport(Results).print();
+    std::printf("plan: %zu cell(s), %zu recording(s), %zu artifact "
+                "task(s), %zu replay(s)\n",
+                Plan.cells().size(), Plan.numRecordings(),
+                Plan.numArtifactTasks(), Plan.numReplays());
+  }
+  writeExperimentsJson(Out, Results);
+  closeOutput(Out, Opts.OutPath,
+              " (" + std::to_string(Results.size()) + " cells)");
+  return 0;
+}
+
 int runTrace(const CliOptions &Opts) {
+  FILE *Out = openOutput(Opts.OutPath);
   Evaluation Eval(setupFor(Opts));
   const EventTrace &Trace = Eval.trace(Scale::Ref, /*Seed=*/100);
   const TraceCounts &C = Trace.counts();
-  std::printf(
+  std::fprintf(
+      Out,
       "{\n  \"benchmark\": \"%s\",\n  \"scale\": \"ref\",\n"
       "  \"events\": %llu,\n  \"bytes\": %llu,\n  \"objects\": %llu,\n"
       "  \"bytes_per_event\": %.3f,\n"
@@ -437,6 +535,7 @@ int runTrace(const CliOptions &Opts) {
       (unsigned long long)C.Loads, (unsigned long long)C.Stores,
       (unsigned long long)C.RawLoads, (unsigned long long)C.RawStores,
       (unsigned long long)C.Computes, (unsigned long long)C.Reallocs);
+  closeOutput(Out, Opts.OutPath);
   return 0;
 }
 
@@ -450,6 +549,8 @@ int main(int Argc, char **Argv) {
     return runPlot(Opts);
   if (Opts.Command == "sweep")
     return runSweep(Opts);
+  if (Opts.Command == "experiments")
+    return runExperiments(Opts);
 
   if (!createWorkload(Opts.Benchmark)) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", Opts.Benchmark.c_str());
@@ -458,7 +559,6 @@ int main(int Argc, char **Argv) {
   if (Opts.Command == "trace")
     return runTrace(Opts);
 
-  Evaluation Eval(setupFor(Opts));
   AllocatorKind Kind;
   if (Opts.Command == "baseline")
     Kind = AllocatorKind::Jemalloc;
@@ -469,9 +569,21 @@ int main(int Argc, char **Argv) {
   else
     usage();
 
-  std::vector<RunMetrics> Runs =
-      Eval.measureTrials(Kind, Scale::Ref, Opts.Trials, /*SeedBase=*/100,
-                         Opts.Jobs);
-  printRunsJson(Opts.Benchmark, Opts.Command, Runs);
+  // A 1x1x1 plan: same scheduler and emitter as the big sweeps.
+  FILE *Out = openOutput(Opts.OutPath);
+  ExperimentSpec Spec;
+  Spec.Benchmarks = {Opts.Benchmark};
+  Spec.Kinds = {Kind};
+  Spec.S = Scale::Ref;
+  Spec.Trials = Opts.Trials;
+  Spec.MakeSetup = [&Opts](const std::string &Name) {
+    return setupFor(Opts, Name);
+  };
+  ExperimentPlan Plan = buildPlan({Spec});
+  ResultSet Results = runPlan(Plan, Opts.Jobs);
+
+  writeRunsJson(Out, Opts.Benchmark, Opts.Command,
+                Results.cells().front().Runs);
+  closeOutput(Out, Opts.OutPath);
   return 0;
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command CI for the HALO reproduction: the tier-1 verify (Release
+# build + full ctest, including the golden_run_json byte check) followed
+# by the ASan+UBSan build (-DHALO_SANITIZE=ON) running the same suite.
+#
+# Usage: scripts/ci.sh [build-dir [sanitize-build-dir]]
+#   build dirs default to build/ and build-asan/ at the repo root;
+#   CTEST_PARALLEL overrides the ctest -j level.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+SAN_BUILD="${2:-$ROOT/build-asan}"
+JOBS="${CTEST_PARALLEL:-$(nproc)}"
+
+echo "== tier-1: Release build + ctest ($BUILD) =="
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== sanitized: ASan+UBSan build + ctest ($SAN_BUILD) =="
+cmake -B "$SAN_BUILD" -S "$ROOT" -DHALO_SANITIZE=ON
+cmake --build "$SAN_BUILD" -j
+ctest --test-dir "$SAN_BUILD" --output-on-failure -j "$JOBS"
+
+echo "== ci: all suites passed =="

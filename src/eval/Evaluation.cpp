@@ -274,95 +274,6 @@ double Evaluation::medianTlbMisses(const std::vector<RunMetrics> &Runs) {
   return median(Values);
 }
 
-ComparisonRow halo::compareTechniques(const std::string &Benchmark,
-                                      int Trials, Scale S, int Jobs,
-                                      const MachineConfig &Machine) {
-  BenchmarkSetup Setup = paperSetup(Benchmark);
-  Setup.Machine = Machine;
-  Evaluation Eval(std::move(Setup));
-  // The HALO and HDS pipelines profile the shared recording as two
-  // parallel tasks; the first configuration's trials then record the
-  // per-seed traces (in parallel) and the other two replay them.
-  Eval.prepareAllArtifacts(Jobs);
-  auto Base = Eval.measureTrials(AllocatorKind::Jemalloc, S, Trials, 100,
-                                 Jobs);
-  auto Hds = Eval.measureTrials(AllocatorKind::Hds, S, Trials, 100, Jobs);
-  auto Halo = Eval.measureTrials(AllocatorKind::Halo, S, Trials, 100, Jobs);
-
-  ComparisonRow Row;
-  Row.Benchmark = Benchmark;
-  Row.HdsMissReduction = percentImprovement(Evaluation::medianL1Misses(Base),
-                                            Evaluation::medianL1Misses(Hds));
-  Row.HaloMissReduction = percentImprovement(Evaluation::medianL1Misses(Base),
-                                             Evaluation::medianL1Misses(Halo));
-  Row.HdsSpeedup = percentImprovement(Evaluation::medianSeconds(Base),
-                                      Evaluation::medianSeconds(Hds));
-  Row.HaloSpeedup = percentImprovement(Evaluation::medianSeconds(Base),
-                                       Evaluation::medianSeconds(Halo));
-  return Row;
-}
-
-std::vector<ComparisonRow>
-halo::compareAcrossBenchmarks(const std::vector<std::string> &Benchmarks,
-                              int Trials, Scale S, int Jobs,
-                              const MachineConfig &Machine) {
-  std::vector<ComparisonRow> Rows(Benchmarks.size());
-  // One benchmark cannot be sharded any coarser, so spend the workers on
-  // its trials instead.
-  if (Benchmarks.size() == 1) {
-    Rows[0] = compareTechniques(Benchmarks[0], Trials, S, Jobs, Machine);
-    return Rows;
-  }
-
-  // Benchmarks are independent Evaluations, so the pool claims whole
-  // benchmarks; surplus workers beyond the shard count go to trial-level
-  // fan-out inside each shard (Shards * InnerJobs bounds total
-  // concurrency), so short benchmark lists still use the whole pool. Slot
-  // B always holds Benchmarks[B], and every row is bit-identical to the
-  // serial order.
-  const unsigned Workers = resolveJobs(Jobs);
-  const unsigned Shards = static_cast<unsigned>(
-      std::min<size_t>(Workers, Benchmarks.size()));
-  const int InnerJobs = static_cast<int>(std::max(1u, Workers / Shards));
-  Executor Pool(static_cast<int>(Shards));
-  Pool.parallelFor(Benchmarks.size(), [&](size_t B) {
-    Rows[B] = compareTechniques(Benchmarks[B], Trials, S, InnerJobs,
-                                Machine);
-  });
-  return Rows;
-}
-
-std::vector<SweepCell>
-halo::sweepMachines(Evaluation &Eval,
-                    const std::vector<const MachineConfig *> &Machines,
-                    int Trials, Scale S, uint64_t SeedBase, int Jobs) {
-  static const AllocatorKind Kinds[] = {
-      AllocatorKind::Jemalloc, AllocatorKind::Hds, AllocatorKind::Halo};
-  constexpr size_t NumKinds = 3;
-  std::vector<SweepCell> Cells(Machines.size() * NumKinds);
-  if (Machines.empty())
-    return Cells;
-
-  // Everything machine-independent materialises before the machine
-  // fan-out: pipeline artifacts (two parallel tasks over the shared
-  // profile recording) and the per-seed measurement traces (recorded
-  // across the whole pool). The per-machine loop then only replays.
-  Eval.prepareAllArtifacts(Jobs);
-  Eval.recordTraces(S, Trials, SeedBase, Jobs);
-
-  const unsigned Workers = resolveJobs(Jobs);
-  const unsigned Shards = static_cast<unsigned>(
-      std::min<size_t>(Workers, Machines.size()));
-  const int InnerJobs = static_cast<int>(std::max(1u, Workers / Shards));
-  Executor Pool(static_cast<int>(Shards));
-  Pool.parallelFor(Machines.size(), [&](size_t M) {
-    for (size_t K = 0; K < NumKinds; ++K) {
-      SweepCell &Cell = Cells[M * NumKinds + K];
-      Cell.Machine = Machines[M];
-      Cell.Kind = Kinds[K];
-      Cell.Runs = Eval.measureTrials(*Machines[M], Kinds[K], S, Trials,
-                                     SeedBase, InnerJobs);
-    }
-  });
-  return Cells;
-}
+// sweepMachines, compareTechniques, and compareAcrossBenchmarks live in
+// eval/Experiment.cpp: they are thin wrappers that expand to an
+// ExperimentSpec and run through buildPlan/runPlan.

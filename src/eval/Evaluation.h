@@ -190,13 +190,13 @@ struct SweepCell {
 };
 
 /// Measures jemalloc / HDS / HALO trials for every machine in \p Machines
-/// against one Evaluation (halo_cli sweep's backing store): the profile
-/// trace records once, the two pipelines materialise as parallel tasks,
+/// against one Evaluation (halo_cli sweep's backing store). A thin
+/// wrapper over buildPlan/runPlan (eval/Experiment.h): the profile trace
+/// records once, the two pipelines materialise as parallel tasks,
 /// per-seed measurement traces record once across the pool, and the
-/// per-machine loop fans out over the executor with surplus workers going
-/// to trial-level fan-out inside each machine. Cells come back
-/// machine-major in \p Machines order (kinds in jemalloc/hds/halo order),
-/// bit-identical to a serial sweep.
+/// machine x kind cells replay at trial granularity over one executor.
+/// Cells come back machine-major in \p Machines order (kinds in
+/// jemalloc/hds/halo order), bit-identical to a serial sweep.
 std::vector<SweepCell>
 sweepMachines(Evaluation &Eval,
               const std::vector<const MachineConfig *> &Machines, int Trials,
@@ -212,19 +212,20 @@ struct ComparisonRow {
 };
 
 /// Runs baseline, HDS, and HALO trials for \p Benchmark and reduces them to
-/// the paper's two headline percentages, measured on \p Machine. Each
-/// configuration replays the per-seed traces recorded by the first; \p Jobs
-/// fans trials out across worker threads (0 = hardware concurrency).
+/// the paper's two headline percentages, measured on \p Machine. A thin
+/// wrapper over buildPlan/runPlan (eval/Experiment.h): every configuration
+/// replays the same once-recorded per-seed traces; \p Jobs fans the cells'
+/// trials out across worker threads (0 = hardware concurrency).
 ComparisonRow compareTechniques(const std::string &Benchmark, int Trials,
                                 Scale S = Scale::Ref, int Jobs = 0,
                                 const MachineConfig &Machine =
                                     defaultMachine());
 
-/// compareTechniques over a benchmark list, sharded across \p Jobs worker
-/// threads at benchmark granularity (each shard runs its trials serially,
-/// so the pool is never oversubscribed; a single benchmark falls back to
-/// trial-level fan-out). Row order follows \p Benchmarks and every row is
-/// bit-identical to the serial run — halo_cli plot's backing store.
+/// compareTechniques over a benchmark list — halo_cli plot's backing
+/// store, a thin wrapper over one buildPlan/runPlan call whose replay
+/// stage spans benchmark x kind x trial tasks (finer than the old
+/// per-benchmark sharding, so short lists still fill the pool). Row order
+/// follows \p Benchmarks and every row is bit-identical to a serial run.
 std::vector<ComparisonRow>
 compareAcrossBenchmarks(const std::vector<std::string> &Benchmarks,
                         int Trials, Scale S = Scale::Ref, int Jobs = 0,

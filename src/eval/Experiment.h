@@ -1,0 +1,236 @@
+//===- eval/Experiment.h - Declarative experiment plans ---------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative measurement API behind every table and figure: the
+/// paper's evaluation is a matrix -- benchmarks x allocator kinds x
+/// machines x trials -- and an ExperimentSpec names a block of that matrix
+/// directly instead of going through a bespoke driver per figure.
+///
+/// buildPlan() expands specs into a deduplicated task DAG over one
+/// Evaluation per benchmark: each (benchmark, scale, seed) workload run is
+/// recorded once, each benchmark's HALO/HDS pipeline artifacts materialise
+/// once, and every requested cell then replays the shared recordings.
+/// runPlan() executes that DAG on a single support/Executor pool in four
+/// deterministic stages (profile recordings, artifacts, measurement
+/// recordings, replays) whose task lists span *all* benchmarks and
+/// machines -- so a mixed sweep keeps every worker busy instead of
+/// sharding along only one axis -- and lands the results in a ResultSet
+/// keyed by the full measurement key. Every value is a deterministic
+/// function of its key, so runPlan's output is bit-identical no matter how
+/// many workers ran (tests/experiment_test.cpp holds the invariant).
+///
+/// sweepMachines, compareTechniques, and compareAcrossBenchmarks
+/// (eval/Evaluation.h) are thin wrappers over plans; the JSON and table
+/// emitters here are the single output path shared by halo_cli's run,
+/// sweep, and experiments subcommands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_EVAL_EXPERIMENT_H
+#define HALO_EVAL_EXPERIMENT_H
+
+#include "eval/Evaluation.h"
+#include "eval/Report.h"
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace halo {
+
+/// The stable spelling of \p Kind used in JSON output and CLI flags.
+const char *allocatorKindName(AllocatorKind Kind);
+
+/// Parses an allocatorKindName() spelling; std::nullopt for unknown names.
+std::optional<AllocatorKind> parseAllocatorKind(const std::string &Name);
+
+/// All kinds, in declaration order, for CLI listings.
+const std::vector<AllocatorKind> &allAllocatorKinds();
+
+/// The stable spelling of \p S ("test" / "ref").
+const char *scaleName(Scale S);
+
+/// Parses a scaleName() spelling; std::nullopt for unknown names.
+std::optional<Scale> parseScale(const std::string &Name);
+
+/// One axis-product block of the evaluation matrix: every benchmark in
+/// \p Benchmarks measured under every machine in \p Machines with every
+/// allocator kind in \p Kinds, \p Trials trials each. Specs are purely
+/// declarative -- nothing records or replays until runPlan().
+struct ExperimentSpec {
+  std::vector<std::string> Benchmarks;
+  /// Machines to measure under. Empty means "the benchmark setup's own
+  /// machine" (the default preset unless MakeSetup says otherwise).
+  std::vector<const MachineConfig *> Machines;
+  std::vector<AllocatorKind> Kinds = {AllocatorKind::Jemalloc,
+                                      AllocatorKind::Hds,
+                                      AllocatorKind::Halo};
+  Scale S = Scale::Ref;
+  int Trials = 3;
+  uint64_t SeedBase = 100;
+  /// Per-benchmark configuration; null means paperSetup(). The first spec
+  /// to name a benchmark decides its setup (benchmarks deduplicate by
+  /// name across specs).
+  std::function<BenchmarkSetup(const std::string &)> MakeSetup;
+};
+
+/// The full key of one measured cell: what was measured, on what, how.
+struct MeasurementKey {
+  std::string Benchmark;
+  std::string Machine; ///< MachineConfig::Name the cell replayed under.
+  AllocatorKind Kind = AllocatorKind::Jemalloc;
+  Scale S = Scale::Ref;
+  uint64_t SeedBase = 100;
+  int Trials = 0;
+};
+
+/// Where every plan's measurements land: one entry per cell, in plan
+/// order, each holding the per-trial RunMetrics (Runs[T] is seed
+/// SeedBase + T). The emitters below are the one output path for every
+/// measurement scenario.
+class ResultSet {
+public:
+  struct Cell {
+    MeasurementKey Key;
+    /// The resolved machine, never null. For cells measured on "the
+    /// benchmark setup's machine" this points into the plan's Evaluation
+    /// -- keep the plan alive while dereferencing it (the Key strings
+    /// are copies and outlive the plan).
+    const MachineConfig *Machine = nullptr;
+    std::vector<RunMetrics> Runs;
+  };
+
+  const std::vector<Cell> &cells() const { return Cells; }
+  bool empty() const { return Cells.empty(); }
+  size_t size() const { return Cells.size(); }
+
+  /// The first cell matching (\p Benchmark, \p Machine, \p Kind, \p S)
+  /// and, when given, \p SeedBase / \p Trials (plans can hold several
+  /// seed/trial blocks of the same coordinate); null if the plan never
+  /// measured it.
+  const Cell *find(const std::string &Benchmark, const std::string &Machine,
+                   AllocatorKind Kind, Scale S,
+                   std::optional<uint64_t> SeedBase = std::nullopt,
+                   std::optional<int> Trials = std::nullopt) const;
+
+private:
+  friend ResultSet runPlan(class ExperimentPlan &Plan, int Jobs);
+  std::vector<Cell> Cells;
+};
+
+/// A deduplicated, executable expansion of one or more specs. Introspect
+/// it to see what runPlan() will do; the counts are what the dedup saved.
+class ExperimentPlan {
+public:
+  /// One benchmark's shared state: the Evaluation every cell of that
+  /// benchmark measures through (owned by the plan, or borrowed from the
+  /// caller), plus the work the cells imply.
+  struct Benchmark {
+    std::string Name;
+    Evaluation *Eval = nullptr;
+    bool NeedsHalo = false; ///< Some cell needs the HALO artifacts.
+    bool NeedsHds = false;  ///< Some cell needs the HDS artifacts.
+    /// Deduplicated (scale, seed) measurement recordings, sorted.
+    std::vector<std::pair<Scale, uint64_t>> Recordings;
+  };
+
+  /// One cell: a (benchmark, machine, kind) coordinate plus its trial
+  /// block. Machine == nullptr means the benchmark setup's machine.
+  struct Cell {
+    size_t Bench = 0; ///< Index into benchmarks().
+    const MachineConfig *Machine = nullptr;
+    AllocatorKind Kind = AllocatorKind::Jemalloc;
+    Scale S = Scale::Ref;
+    int Trials = 0;
+    uint64_t SeedBase = 100;
+  };
+
+  const std::vector<Benchmark> &benchmarks() const { return Benchmarks; }
+  const std::vector<Cell> &cells() const { return Cells; }
+
+  /// Total deduplicated measurement recordings across benchmarks.
+  size_t numRecordings() const;
+  /// HALO/HDS pipeline materialisations the plan will run.
+  size_t numArtifactTasks() const;
+  /// Total replay tasks (cells x their trials).
+  size_t numReplays() const;
+
+private:
+  friend ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
+                                  const std::vector<Evaluation *> &External);
+  friend ResultSet runPlan(ExperimentPlan &Plan, int Jobs);
+  std::vector<Benchmark> Benchmarks;
+  std::vector<Cell> Cells;
+  std::vector<std::unique_ptr<Evaluation>> Owned;
+};
+
+/// Expands \p Specs into a plan. Benchmarks deduplicate by name across
+/// specs (one Evaluation each); identical cells deduplicate entirely;
+/// each cell's seeds join its benchmark's recording set once. A benchmark
+/// named by an Evaluation in \p External is measured through that caller
+/// instance (its cached traces and artifacts are reused) instead of a
+/// plan-owned one. Throws std::invalid_argument for unknown benchmarks.
+ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
+                         const std::vector<Evaluation *> &External = {});
+
+/// Executes \p Plan on one Executor pool (\p Jobs as resolveJobs()
+/// interprets it) in four stages -- profile recordings, pipeline
+/// artifacts, measurement recordings, cell replays -- each a flat task
+/// list spanning every benchmark and machine in the plan. Results are
+/// bit-identical to a serial run regardless of Jobs.
+ResultSet runPlan(ExperimentPlan &Plan, int Jobs = 0);
+
+//===----------------------------------------------------------------------===//
+// Shared emitters: the one JSON / table output path.
+//===----------------------------------------------------------------------===//
+
+/// The `halo_cli run` JSON document: per-run metrics plus medians for one
+/// cell's trial block (byte-stable; pinned by the golden_run_json check).
+void writeRunsJson(FILE *Out, const std::string &Benchmark,
+                   const std::string &Config,
+                   const std::vector<RunMetrics> &Runs);
+
+/// One BENCH_machines.json row: a (benchmark, machine, allocator kind)
+/// cell of a cross-machine sweep, reduced to medians.
+struct SweepRow {
+  std::string Bench;
+  std::string Machine;
+  std::string Kind;
+  double WallMs = 0.0; ///< Median simulated run time, in ms.
+  int Trials = 0;
+  double L1dMisses = 0.0; ///< Median per-run L1D misses.
+  double TlbMisses = 0.0; ///< Median per-run dTLB misses.
+  double SpeedupPercent = 0.0; ///< vs jemalloc on the same machine.
+};
+
+/// Reduces \p Results to sweep rows in cell order. speedup_percent
+/// compares each cell against the jemalloc cell sharing its (benchmark,
+/// machine, scale, seed block); jemalloc rows read 0, and a non-jemalloc
+/// cell without a baseline throws std::logic_error rather than reading
+/// as a genuine "no improvement".
+std::vector<SweepRow> sweepRows(const ResultSet &Results);
+
+/// The BENCH_machines.json document (byte-stable).
+void writeSweepJson(FILE *Out, const std::vector<SweepRow> &Rows);
+
+/// The `halo_cli sweep` table.
+Report sweepReport(const std::vector<SweepRow> &Rows);
+
+/// The unified experiments JSON: one object per cell, keyed by the full
+/// measurement key, with medians and the per-run metrics.
+void writeExperimentsJson(FILE *Out, const ResultSet &Results);
+
+/// The `halo_cli experiments` table: one row per cell, medians only.
+Report experimentsReport(const ResultSet &Results);
+
+} // namespace halo
+
+#endif // HALO_EVAL_EXPERIMENT_H
