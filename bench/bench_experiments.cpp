@@ -14,10 +14,19 @@
 // collapse to the same work and the rows document parity; the win needs
 // cores, where the plan keeps all workers busy across the whole matrix.
 //
+// A second pair of rows benches the content-addressed artifact store
+// (store/ArtifactStore.h): the same plan runs twice against a fresh temp
+// store -- "store_cold" records and publishes, "store_warm" re-plans
+// against the populated store, must schedule zero record/materialise
+// tasks (asserted), and replays bit-identically (asserted). The warm
+// row's speedup_percent is its improvement over the cold row: the
+// record/profile work the store deleted from the DAG.
+//
 // Rows append to BENCH_machines.json ({"bench", "machine", "kind",
 // "wall_ms", "trials", ...}): bench "experiments_mixed", machine the
-// matrix shape, kind "plan" / "sequential"; the plan row's
-// speedup_percent is its improvement over the sequential row.
+// matrix shape, kind "plan" / "sequential" / "store_cold" /
+// "store_warm"; the plan row's speedup_percent is its improvement over
+// the sequential row.
 //
 //   bench_experiments [--append] [BENCH_machines.json]
 //
@@ -25,6 +34,7 @@
 
 #include "BenchCommon.h"
 #include "eval/Experiment.h"
+#include "store/ArtifactStore.h"
 #include "support/Executor.h"
 
 #include <chrono>
@@ -33,6 +43,9 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
 
 using namespace halo;
 
@@ -163,10 +176,72 @@ int main(int Argc, char **Argv) {
           expectIdentical(Cell.Runs[T], Twin->Runs[T], Benchmarks[B]);
       }
 
-  std::vector<OutRow> Rows(2);
+  // Store shape: the same plan twice against a fresh temp store -- the
+  // first run records cold and publishes, the second must schedule zero
+  // record/materialise tasks and replay bit-identically from the store.
+  char StoreTemplate[] = "/tmp/halo_bench_store.XXXXXX";
+  const char *StoreDir = mkdtemp(StoreTemplate);
+  if (!StoreDir) {
+    std::fprintf(stderr, "bench_experiments: mkdtemp failed\n");
+    return 1;
+  }
+  double ColdMs, WarmMs;
+  {
+    ArtifactStore Store((std::string(StoreDir)));
+    double ColdStart = nowMs();
+    ExperimentPlan ColdPlan = buildPlan({Spec}, {}, &Store);
+    ResultSet ColdResults = runPlan(ColdPlan, /*Jobs=*/0);
+    ColdMs = nowMs() - ColdStart;
+
+    double WarmStart = nowMs();
+    ExperimentPlan WarmPlan = buildPlan({Spec}, {}, &Store);
+    if (WarmPlan.numRecordings() != 0 || WarmPlan.numArtifactTasks() != 0 ||
+        WarmPlan.numProfileRecordings() != 0) {
+      // A warm plan that still records would silently bench the cold path
+      // twice and report a fake parity.
+      std::fprintf(stderr,
+                   "bench_experiments: warm plan still schedules %zu "
+                   "recording(s), %zu artifact task(s), %zu profile(s)\n",
+                   WarmPlan.numRecordings(), WarmPlan.numArtifactTasks(),
+                   WarmPlan.numProfileRecordings());
+      return 1;
+    }
+    ResultSet WarmResults = runPlan(WarmPlan, /*Jobs=*/0);
+    WarmMs = nowMs() - WarmStart;
+
+    if (WarmResults.size() != ColdResults.size() ||
+        WarmResults.size() != Results.size()) {
+      std::fprintf(stderr, "bench_experiments: store runs lost cells\n");
+      return 1;
+    }
+    for (size_t C = 0; C < ColdResults.size(); ++C) {
+      for (size_t T = 0; T < ColdResults.cells()[C].Runs.size(); ++T) {
+        expectIdentical(ColdResults.cells()[C].Runs[T],
+                        WarmResults.cells()[C].Runs[T], "store warm");
+        // And the store changed nothing vs the storeless plan above.
+        expectIdentical(Results.cells()[C].Runs[T],
+                        ColdResults.cells()[C].Runs[T], "store cold");
+      }
+    }
+  }
+  // Remove the temp store; the rows, not the entries, are the artifact.
+  if (DIR *D = opendir(StoreDir)) {
+    while (struct dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        unlink((std::string(StoreDir) + "/" + Name).c_str());
+    }
+    closedir(D);
+  }
+  rmdir(StoreDir);
+
+  std::vector<OutRow> Rows(4);
   Rows[0] = {"plan", PlanMs, Trials,
              percentImprovement(SeqMs, PlanMs)};
   Rows[1] = {"sequential", SeqMs, Trials, 0.0};
+  Rows[2] = {"store_cold", ColdMs, Trials, 0.0};
+  Rows[3] = {"store_warm", WarmMs, Trials,
+             percentImprovement(ColdMs, WarmMs)};
 
   Report Table("Mixed sweep scheduling: one plan vs back-to-back sweeps");
   Table.setColumns({"shape", "wall_ms", "trials", "vs sequential"});
@@ -177,6 +252,9 @@ int main(int Argc, char **Argv) {
   Table.addNote("2 benchmarks x 2 machines x 3 kinds, jobs=0 (hardware "
                 "concurrency), bit-identical cells asserted; the plan's "
                 "cross-dimension stages need cores to pull ahead");
+  Table.addNote("store_cold populates a fresh artifact store; store_warm "
+                "re-plans against it, schedules zero record/materialise "
+                "tasks (asserted), and replays bit-identically");
   Table.print();
 
   if (!OutPath.empty()) {

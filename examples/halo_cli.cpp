@@ -19,6 +19,15 @@
 //   halo_cli experiments [benchmark...] [--machines NAME,...|all]
 //            [--kinds KIND,...] [--scale test|ref] [--seed-base N]
 //            [--trials N] [--jobs N] [--out FILE]
+//   halo_cli store <ls|gc|verify> [--store-dir DIR]
+//
+// --store-dir DIR (or $HALO_STORE) attaches a content-addressed artifact
+// store (store/ArtifactStore.h) to the measuring subcommands: recordings
+// and pipeline artifacts hit in the store load instead of re-running, and
+// cold results publish for the next invocation. Warm results are
+// bit-identical to cold ones. `store ls` lists entries, `store verify`
+// exits non-zero if any entry is corrupt, `store gc` removes corrupt
+// entries and abandoned temp files.
 //
 // Measurements run on a simulated machine model (sim/Machine.h); --machine
 // selects a preset (default: xeon-w2195, the paper's evaluation machine).
@@ -38,6 +47,7 @@
 #include "eval/Evaluation.h"
 #include "eval/Experiment.h"
 #include "eval/Report.h"
+#include "store/ArtifactStore.h"
 #include "support/Format.h"
 #include "support/Stats.h"
 
@@ -65,6 +75,8 @@ struct CliOptions {
   bool SawScale = false;                ///< --scale given explicitly.
   bool SawSeedBase = false;             ///< --seed-base given explicitly.
   std::string OutPath; ///< JSON output file ("" = stdout).
+  std::string StoreVerb; ///< store: ls / gc / verify.
+  std::string StoreDir;  ///< --store-dir ("" = $HALO_STORE or off).
   int Trials = 3;
   int Jobs = 0; ///< 0 = hardware concurrency.
   uint64_t ChunkSize = 0;
@@ -81,11 +93,15 @@ struct CliOptions {
       "       halo_cli sweep [benchmark...] [flags]   # all machines -> JSON\n"
       "       halo_cli experiments [benchmark...] [flags]  # matrix -> JSON\n"
       "       halo_cli machines                       # list machine presets\n"
+      "       halo_cli store <ls|gc|verify> [--store-dir DIR]\n"
       "flags: --trials N  --jobs N  --machine NAME  --chunk-size BYTES\n"
       "       --max-spare-chunks N  --max-groups N  --affinity-distance BYTES\n"
       "       --out FILE (any JSON-emitting command)\n"
       "       --machines NAME[,NAME...]|all  --kinds KIND[,KIND...]\n"
       "       --scale test|ref  --seed-base N  (experiments)\n"
+      "       --store-dir DIR (or $HALO_STORE): content-addressed cache of\n"
+      "         recordings + pipeline artifacts (baseline/run/hds/sweep/\n"
+      "         experiments/store)\n"
       "benchmarks:");
   for (const std::string &Name : workloadNames())
     std::fprintf(stderr, " %s", Name.c_str());
@@ -255,6 +271,8 @@ CliOptions parseArgs(int Argc, char **Argv) {
     }
     else if (Arg == "--out")
       Opts.OutPath = Args.value(Arg);
+    else if (Arg == "--store-dir")
+      Opts.StoreDir = Args.value(Arg);
     else if (Arg == "--chunk-size")
       Opts.ChunkSize = Args.unsignedValue(Arg, /*Min=*/1);
     else if (Arg == "--max-spare-chunks")
@@ -275,6 +293,21 @@ CliOptions parseArgs(int Argc, char **Argv) {
   if (!Opts.OutPath.empty() && !emitsJson(Opts.Command))
     usageError("--out is not supported by the " + Opts.Command +
                " command (it emits no JSON)");
+  if (Opts.Command == "store") {
+    // The verb parsed into the benchmark slot; validate it strictly.
+    Opts.StoreVerb = Opts.Benchmark;
+    Opts.Benchmark.clear();
+    if (Opts.StoreVerb != "ls" && Opts.StoreVerb != "gc" &&
+        Opts.StoreVerb != "verify")
+      usageError("unknown store verb '" + Opts.StoreVerb +
+                 "' (available: ls gc verify)");
+  }
+  if (!Opts.StoreDir.empty() && Opts.Command != "store" &&
+      Opts.Command != "baseline" && Opts.Command != "run" &&
+      Opts.Command != "hds" && Opts.Command != "sweep" &&
+      Opts.Command != "experiments")
+    usageError("--store-dir is not supported by the " + Opts.Command +
+               " command");
   if (Opts.Command != "experiments") {
     if (!Opts.MachineList.empty())
       usageError("--machines is only valid with the experiments command "
@@ -327,6 +360,24 @@ void closeOutput(FILE *Out, const std::string &Path,
     std::exit(1);
   }
   std::printf("wrote %s%s\n", Path.c_str(), Detail.c_str());
+}
+
+/// Opens the artifact store the options select: --store-dir, else
+/// $HALO_STORE, else none. Opened BEFORE measuring (like openOutput) so a
+/// bad or unwritable directory fails fast with the usage message instead
+/// of silently turning every warm run cold.
+std::optional<ArtifactStore> openStore(const CliOptions &Opts) {
+  std::string Dir = Opts.StoreDir;
+  if (Dir.empty())
+    if (const char *Env = std::getenv("HALO_STORE"))
+      Dir = Env;
+  if (Dir.empty())
+    return std::nullopt;
+  try {
+    return ArtifactStore(std::move(Dir));
+  } catch (const std::runtime_error &E) {
+    usageError(E.what());
+  }
 }
 
 /// The machine the options name (parseArgs already rejected unknown names).
@@ -442,8 +493,9 @@ int runSweep(const CliOptions &Opts) {
   Spec.MakeSetup = [&Opts](const std::string &Name) {
     return setupFor(Opts, Name);
   };
+  std::optional<ArtifactStore> Store = openStore(Opts);
   FILE *Out = Opts.OutPath.empty() ? nullptr : openOutput(Opts.OutPath);
-  ExperimentPlan Plan = buildPlan({Spec});
+  ExperimentPlan Plan = buildPlan({Spec}, {}, Store ? &*Store : nullptr);
   ResultSet Results = runPlan(Plan, Opts.Jobs);
 
   std::vector<SweepRow> Rows = sweepRows(Results);
@@ -492,20 +544,67 @@ int runExperiments(const CliOptions &Opts) {
     return setupFor(Opts, Name);
   };
 
+  std::optional<ArtifactStore> Store = openStore(Opts);
   FILE *Out = openOutput(Opts.OutPath);
-  ExperimentPlan Plan = buildPlan({Spec});
+  ExperimentPlan Plan = buildPlan({Spec}, {}, Store ? &*Store : nullptr);
   ResultSet Results = runPlan(Plan, Opts.Jobs);
   if (Out != stdout) {
     // With a file destination the console gets the human-readable view.
     experimentsReport(Results).print();
     std::printf("plan: %zu cell(s), %zu recording(s), %zu artifact "
-                "task(s), %zu replay(s)\n",
+                "task(s), %zu replay(s)",
                 Plan.cells().size(), Plan.numRecordings(),
                 Plan.numArtifactTasks(), Plan.numReplays());
+    if (Plan.store())
+      std::printf(", %zu stored recording(s), %zu stored artifact(s)",
+                  Plan.numStoredRecordings(), Plan.numStoredArtifacts());
+    std::printf("\n");
   }
   writeExperimentsJson(Out, Results);
   closeOutput(Out, Opts.OutPath,
               " (" + std::to_string(Results.size()) + " cells)");
+  return 0;
+}
+
+int runStore(const CliOptions &Opts) {
+  // The store commands refuse to guess a directory: inspecting or
+  // collecting "no store" is always a mistake.
+  if (Opts.StoreDir.empty() && !std::getenv("HALO_STORE"))
+    usageError("the store command needs a directory (--store-dir DIR or "
+               "$HALO_STORE)");
+  std::optional<ArtifactStore> Store = openStore(Opts);
+
+  if (Opts.StoreVerb == "gc") {
+    size_t Removed = Store->gc();
+    std::printf("removed %zu file(s) from %s\n", Removed,
+                Store->dir().c_str());
+    return 0;
+  }
+
+  // ls and verify share the listing; verify additionally fails the exit
+  // code on any invalid entry so scripts can gate on store health.
+  std::vector<ArtifactStore::Entry> Entries = Store->entries();
+  Report Table("Artifact store " + Store->dir());
+  Table.setColumns({"file", "type", "label", "payload bytes", "status"});
+  size_t Invalid = 0;
+  for (const ArtifactStore::Entry &E : Entries) {
+    if (!E.Valid)
+      ++Invalid;
+    Table.addRow({E.File, artifactTypeName(E.Type), E.Label,
+                  std::to_string(E.PayloadSize),
+                  E.Valid ? "ok" : "CORRUPT: " + E.Problem});
+  }
+  Table.addNote(std::to_string(Entries.size()) + " entr" +
+                (Entries.size() == 1 ? "y" : "ies") + ", " +
+                std::to_string(Invalid) + " invalid");
+  Table.print();
+  if (Opts.StoreVerb == "verify" && Invalid) {
+    std::fprintf(stderr,
+                 "halo_cli: store verify: %zu corrupt entr%s (run "
+                 "`halo_cli store gc` to remove)\n",
+                 Invalid, Invalid == 1 ? "y" : "ies");
+    return 1;
+  }
   return 0;
 }
 
@@ -551,6 +650,8 @@ int main(int Argc, char **Argv) {
     return runSweep(Opts);
   if (Opts.Command == "experiments")
     return runExperiments(Opts);
+  if (Opts.Command == "store")
+    return runStore(Opts);
 
   if (!createWorkload(Opts.Benchmark)) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", Opts.Benchmark.c_str());
@@ -570,6 +671,7 @@ int main(int Argc, char **Argv) {
     usage();
 
   // A 1x1x1 plan: same scheduler and emitter as the big sweeps.
+  std::optional<ArtifactStore> Store = openStore(Opts);
   FILE *Out = openOutput(Opts.OutPath);
   ExperimentSpec Spec;
   Spec.Benchmarks = {Opts.Benchmark};
@@ -579,7 +681,7 @@ int main(int Argc, char **Argv) {
   Spec.MakeSetup = [&Opts](const std::string &Name) {
     return setupFor(Opts, Name);
   };
-  ExperimentPlan Plan = buildPlan({Spec});
+  ExperimentPlan Plan = buildPlan({Spec}, {}, Store ? &*Store : nullptr);
   ResultSet Results = runPlan(Plan, Opts.Jobs);
 
   writeRunsJson(Out, Opts.Benchmark, Opts.Command,

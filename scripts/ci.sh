@@ -2,6 +2,9 @@
 # One-command CI for the HALO reproduction: the tier-1 verify (Release
 # build + full ctest, including the golden_run_json byte check) followed
 # by the ASan+UBSan build (-DHALO_SANITIZE=ON) running the same suite.
+# Each build also smoke-tests the artifact store end to end through
+# halo_cli against a per-run temp --store-dir: cold run populates, warm
+# run must emit byte-identical JSON, verify must pass.
 #
 # Usage: scripts/ci.sh [build-dir [sanitize-build-dir]]
 #   build dirs default to build/ and build-asan/ at the repo root;
@@ -13,14 +16,38 @@ BUILD="${1:-$ROOT/build}"
 SAN_BUILD="${2:-$ROOT/build-asan}"
 JOBS="${CTEST_PARALLEL:-$(nproc)}"
 
+# Cold run, warm run, byte-compare, verify -- with a store directory that
+# lives only for this invocation, so runs never poison each other.
+store_smoke() {
+  local build="$1"
+  local store out_cold out_warm
+  store="$(mktemp -d)"
+  out_cold="$(mktemp)"
+  out_warm="$(mktemp)"
+  trap 'rm -rf "$store" "$out_cold" "$out_warm"' RETURN
+  "$build/examples/halo_cli" run health --trials 2 \
+      --store-dir "$store" --out "$out_cold"
+  "$build/examples/halo_cli" run health --trials 2 \
+      --store-dir "$store" --out "$out_warm"
+  cmp "$out_cold" "$out_warm"
+  "$build/examples/halo_cli" store verify --store-dir "$store"
+  "$build/examples/halo_cli" store gc --store-dir "$store"
+}
+
 echo "== tier-1: Release build + ctest ($BUILD) =="
 cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
+echo "== tier-1: store warm/cold smoke =="
+store_smoke "$BUILD"
+
 echo "== sanitized: ASan+UBSan build + ctest ($SAN_BUILD) =="
 cmake -B "$SAN_BUILD" -S "$ROOT" -DHALO_SANITIZE=ON
 cmake --build "$SAN_BUILD" -j
 ctest --test-dir "$SAN_BUILD" --output-on-failure -j "$JOBS"
+
+echo "== sanitized: store warm/cold smoke =="
+store_smoke "$SAN_BUILD"
 
 echo "== ci: all suites passed =="

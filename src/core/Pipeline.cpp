@@ -3,6 +3,7 @@
 #include "core/Pipeline.h"
 
 #include "mem/SizeClassAllocator.h"
+#include "support/BinaryIO.h"
 #include "trace/EventTrace.h"
 
 using namespace halo;
@@ -63,4 +64,47 @@ std::string HaloArtifacts::groupsAsDot(const Program &Prog,
     for (GraphNodeId Member : Groups[G].Members)
       GroupOf[Member] = static_cast<int>(G);
   return Graph.toDot(Labels, GroupOf, MinEdgeWeight);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// "HART": HALO artifact bundle.
+constexpr uint32_t HaloArtifactMagic = 0x54524148;
+constexpr uint32_t HaloArtifactVersion = 1;
+} // namespace
+
+void halo::saveHaloArtifacts(const HaloArtifacts &Art, BinaryWriter &W) {
+  W.u32(HaloArtifactMagic);
+  W.u32(HaloArtifactVersion);
+  Art.Contexts.save(W);
+  Art.Graph.save(W);
+  saveGroups(Art.Groups, W);
+  saveIdentification(Art.Identification, W);
+  W.varint(Art.ProfiledAccesses);
+}
+
+HaloArtifacts halo::loadHaloArtifacts(BinaryReader &R, const Program &Prog) {
+  if (R.u32() != HaloArtifactMagic)
+    throw SerializationError("halo artifacts: bad magic");
+  uint32_t Version = R.u32();
+  if (Version != HaloArtifactVersion)
+    throw SerializationError("halo artifacts: unknown format version " +
+                             std::to_string(Version));
+  HaloArtifacts Art;
+  Art.Contexts = ContextTable::load(R);
+  Art.Graph = AffinityGraph::load(R);
+  Art.Groups = loadGroups(R);
+  Art.Identification = loadIdentification(R);
+  Art.ProfiledAccesses = R.varint();
+  // Rebuild the derived members exactly as optimizeBinary does: bit
+  // assignment follows Sites order and mask compilation follows selector
+  // order, so the rebuilt plan and masks are identical to the saved run's.
+  Art.Plan = InstrumentationPlan(Prog, Art.Identification.Sites);
+  Art.CompiledSelectors.reserve(Art.Identification.Selectors.size());
+  for (const Selector &Sel : Art.Identification.Selectors)
+    Art.CompiledSelectors.push_back(compileSelector(Sel, Art.Plan));
+  return Art;
 }

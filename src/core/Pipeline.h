@@ -82,6 +82,19 @@ HaloArtifacts optimizeBinary(const Program &Prog, const EventTrace &Trace,
                              const HaloParameters &Params = HaloParameters(),
                              const MachineConfig &Machine = defaultMachine());
 
+/// Serializes the machine-independent core of \p Art (contexts, graph,
+/// groups, identification, profiled-access count) behind a versioned
+/// header. The instrumentation plan and compiled selectors are *not*
+/// written: both are deterministic functions of the identification result
+/// and the program, and loadHaloArtifacts rebuilds them, so a loaded
+/// artifact drives measurement bit-identically to a freshly derived one.
+void saveHaloArtifacts(const HaloArtifacts &Art, BinaryWriter &W);
+
+/// Decodes a saveHaloArtifacts() stream and rebuilds the derived members
+/// against \p Prog. Throws SerializationError on bad magic/version,
+/// truncation, or internal inconsistency.
+HaloArtifacts loadHaloArtifacts(BinaryReader &R, const Program &Prog);
+
 } // namespace halo
 
 #endif // HALO_CORE_PIPELINE_H

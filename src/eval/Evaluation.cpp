@@ -84,6 +84,29 @@ const EventTrace &Evaluation::trace(Scale S, uint64_t Seed) {
   return Traces.emplace(Key, std::move(Recorded)).first->second;
 }
 
+bool Evaluation::hasTrace(Scale S, uint64_t Seed) {
+  std::lock_guard<std::mutex> Lock(TraceMutex);
+  return Traces.count(std::make_pair(static_cast<int>(S), Seed)) != 0;
+}
+
+const EventTrace &Evaluation::addTrace(Scale S, uint64_t Seed,
+                                       EventTrace Trace) {
+  std::lock_guard<std::mutex> Lock(TraceMutex);
+  return Traces
+      .emplace(std::make_pair(static_cast<int>(S), Seed), std::move(Trace))
+      .first->second;
+}
+
+void Evaluation::setHaloArtifacts(HaloArtifacts Art) {
+  if (!HaloArt)
+    HaloArt = std::move(Art);
+}
+
+void Evaluation::setHdsArtifacts(HdsArtifacts Art) {
+  if (!HdsArt)
+    HdsArt = std::move(Art);
+}
+
 RunMetrics Evaluation::measure(AllocatorKind Kind, Scale S, uint64_t Seed) {
   return measure(Setup.Machine, Kind, S, Seed);
 }

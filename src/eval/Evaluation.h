@@ -104,6 +104,27 @@ public:
   /// parallel.
   const EventTrace &trace(Scale S, uint64_t Seed);
 
+  /// True if the trace for (\p S, \p Seed) is already cached. Thread-safe.
+  bool hasTrace(Scale S, uint64_t Seed);
+
+  /// Seeds the trace cache with an externally obtained recording (the
+  /// artifact store's warm path: a loaded trace replays bit-identically
+  /// to one recorded here). First writer wins, exactly like trace();
+  /// returns the cached instance. Thread-safe.
+  const EventTrace &addTrace(Scale S, uint64_t Seed, EventTrace Trace);
+
+  /// Whether the pipeline artifacts are already materialised (loaded or
+  /// profiled). Not synchronised: call only when no task may be
+  /// materialising them concurrently (plan stages guarantee this).
+  bool hasHaloArtifacts() const { return HaloArt.has_value(); }
+  bool hasHdsArtifacts() const { return HdsArt.has_value(); }
+
+  /// Installs externally obtained pipeline artifacts (the store's warm
+  /// path); no-op if already materialised. Same synchronisation contract
+  /// as haloArtifacts()/hdsArtifacts(): one task per artifact kind.
+  void setHaloArtifacts(HaloArtifacts Art);
+  void setHdsArtifacts(HdsArtifacts Art);
+
   /// Records the traces for \p Trials consecutive seeds starting at
   /// \p SeedBase, fanned out across \p Jobs workers (0 = hardware
   /// concurrency). Recording is the expensive half of a measurement

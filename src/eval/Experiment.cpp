@@ -2,6 +2,7 @@
 
 #include "eval/Experiment.h"
 
+#include "store/ArtifactStore.h"
 #include "support/Executor.h"
 #include "support/Format.h"
 #include "support/Stats.h"
@@ -95,7 +96,32 @@ size_t ExperimentPlan::numRecordings() const {
 size_t ExperimentPlan::numArtifactTasks() const {
   size_t N = 0;
   for (const Benchmark &B : Benchmarks)
-    N += (B.NeedsHalo ? 1 : 0) + (B.NeedsHds ? 1 : 0);
+    N += ((B.NeedsHalo && !B.HaloStored) ? 1 : 0) +
+         ((B.NeedsHds && !B.HdsStored) ? 1 : 0);
+  return N;
+}
+
+size_t ExperimentPlan::numProfileRecordings() const {
+  size_t N = 0;
+  for (const Benchmark &B : Benchmarks)
+    if (((B.NeedsHalo && !B.HaloStored) || (B.NeedsHds && !B.HdsStored)) &&
+        !B.ProfileStored)
+      ++N;
+  return N;
+}
+
+size_t ExperimentPlan::numStoredRecordings() const {
+  size_t N = 0;
+  for (const Benchmark &B : Benchmarks)
+    N += B.StoredRecordings.size();
+  return N;
+}
+
+size_t ExperimentPlan::numStoredArtifacts() const {
+  size_t N = 0;
+  for (const Benchmark &B : Benchmarks)
+    N += ((B.NeedsHalo && B.HaloStored) ? 1 : 0) +
+         ((B.NeedsHds && B.HdsStored) ? 1 : 0);
   return N;
 }
 
@@ -107,8 +133,10 @@ size_t ExperimentPlan::numReplays() const {
 }
 
 ExperimentPlan halo::buildPlan(const std::vector<ExperimentSpec> &Specs,
-                               const std::vector<Evaluation *> &External) {
+                               const std::vector<Evaluation *> &External,
+                               ArtifactStore *Store) {
   ExperimentPlan Plan;
+  Plan.Store = Store;
   // Per-benchmark seed sets, kept outside the plan until sorted.
   std::vector<std::set<std::pair<Scale, uint64_t>>> Seeds;
 
@@ -180,6 +208,32 @@ ExperimentPlan halo::buildPlan(const std::vector<ExperimentSpec> &Specs,
 
   for (size_t B = 0; B < Plan.Benchmarks.size(); ++B)
     Plan.Benchmarks[B].Recordings.assign(Seeds[B].begin(), Seeds[B].end());
+
+  // Consult the store last, once the needs are final: every hit prunes a
+  // record/materialise task from the DAG before runPlan ever schedules
+  // it. contains() fully validates entries, so a truncated or bit-flipped
+  // file plans as a miss (cold path re-records and re-publishes it).
+  if (Store) {
+    for (ExperimentPlan::Benchmark &B : Plan.Benchmarks) {
+      const BenchmarkSetup &Setup = B.Eval->setup();
+      if (B.NeedsHalo)
+        B.HaloStored = Store->contains(haloStoreKey(
+            B.Name, Setup.ProfileScale, Setup.ProfileSeed, Setup.Halo));
+      if (B.NeedsHds)
+        B.HdsStored = Store->contains(hdsStoreKey(
+            B.Name, Setup.ProfileScale, Setup.ProfileSeed, Setup.Hds));
+      if (B.NeedsHalo || B.NeedsHds)
+        B.ProfileStored = Store->contains(
+            traceStoreKey(B.Name, Setup.ProfileScale, Setup.ProfileSeed));
+      std::vector<std::pair<Scale, uint64_t>> Cold;
+      for (const std::pair<Scale, uint64_t> &R : B.Recordings)
+        if (Store->contains(traceStoreKey(B.Name, R.first, R.second)))
+          B.StoredRecordings.push_back(R);
+        else
+          Cold.push_back(R);
+      B.Recordings = std::move(Cold);
+    }
+  }
   return Plan;
 }
 
@@ -208,49 +262,118 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs) {
   // every benchmark and machine, so a mixed sweep fills the pool at cell
   // granularity instead of sharding along a single axis.
   Executor Pool(Jobs);
+  ArtifactStore *Store = Plan.Store;
 
-  // Stage 1: profile recordings (the input both pipelines profile).
-  std::vector<Evaluation *> Profiles;
+  // Loads a stored trace into the cache, or records it cold (publishing
+  // to the store when one is attached). A stored entry that vanished or
+  // decodes corrupt between buildPlan and here demotes to the cold path
+  // inline -- re-record, re-publish -- so the run self-heals instead of
+  // failing. Either way the cached trace is byte-identical to a fresh
+  // recording, keeping warm results bit-identical to cold ones.
+  auto ObtainTrace = [&](const ExperimentPlan::Benchmark &B, Scale S,
+                         uint64_t Seed, bool Stored) {
+    Evaluation &E = *B.Eval;
+    if (Store && Stored && !E.hasTrace(S, Seed)) {
+      if (std::optional<EventTrace> Loaded =
+              getTrace(*Store, traceStoreKey(B.Name, S, Seed))) {
+        E.addTrace(S, Seed, std::move(*Loaded));
+        return;
+      }
+    }
+    const EventTrace &Trace = E.trace(S, Seed);
+    if (Store)
+      putTrace(*Store, traceStoreKey(B.Name, S, Seed), Trace);
+  };
+
+  // Stage 1: profile recordings (the input both pipelines profile). A
+  // benchmark whose needed artifact bundles are all stored skips its
+  // profile trace entirely -- the warm path never replays it.
+  struct ProfileTask {
+    const ExperimentPlan::Benchmark *B;
+  };
+  std::vector<ProfileTask> Profiles;
   for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks)
-    if (B.NeedsHalo || B.NeedsHds)
-      Profiles.push_back(B.Eval);
+    if ((B.NeedsHalo && !B.HaloStored) || (B.NeedsHds && !B.HdsStored))
+      Profiles.push_back({&B});
   Pool.parallelFor(Profiles.size(), [&](size_t I) {
-    Evaluation &E = *Profiles[I];
-    E.trace(E.setup().ProfileScale, E.setup().ProfileSeed);
+    const ExperimentPlan::Benchmark &B = *Profiles[I].B;
+    const BenchmarkSetup &Setup = B.Eval->setup();
+    ObtainTrace(B, Setup.ProfileScale, Setup.ProfileSeed, B.ProfileStored);
   });
 
-  // Stage 2: pipeline artifacts, two independent tasks per benchmark.
+  // Stage 2: pipeline artifacts, two independent tasks per benchmark --
+  // each either a store load or a cold materialise-and-publish. One task
+  // per artifact kind, so the unsynchronised artifact slots see a single
+  // writer. A corrupt stored bundle falls back to materialising, which
+  // (via Evaluation's lazy trace()) records the profile trace inline if
+  // stage 1 skipped it.
   struct ArtifactTask {
-    Evaluation *Eval;
+    const ExperimentPlan::Benchmark *B;
     bool Halo;
+    bool Stored;
   };
   std::vector<ArtifactTask> Artifacts;
   for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks) {
     if (B.NeedsHalo)
-      Artifacts.push_back({B.Eval, true});
+      Artifacts.push_back({&B, true, B.HaloStored});
     if (B.NeedsHds)
-      Artifacts.push_back({B.Eval, false});
+      Artifacts.push_back({&B, false, B.HdsStored});
   }
   Pool.parallelFor(Artifacts.size(), [&](size_t I) {
-    if (Artifacts[I].Halo)
-      Artifacts[I].Eval->haloArtifacts();
-    else
-      Artifacts[I].Eval->hdsArtifacts();
+    const ArtifactTask &Task = Artifacts[I];
+    Evaluation &E = *Task.B->Eval;
+    const BenchmarkSetup &Setup = E.setup();
+    if (Task.Halo) {
+      StoreKey Key;
+      if (Store)
+        Key = haloStoreKey(Task.B->Name, Setup.ProfileScale,
+                           Setup.ProfileSeed, Setup.Halo);
+      if (Store && Task.Stored && !E.hasHaloArtifacts()) {
+        if (std::optional<HaloArtifacts> Art =
+                getHaloArtifacts(*Store, Key, E.program())) {
+          E.setHaloArtifacts(std::move(*Art));
+          return;
+        }
+      }
+      const HaloArtifacts &Art = E.haloArtifacts();
+      if (Store)
+        putHaloArtifacts(*Store, Key, Art);
+    } else {
+      StoreKey Key;
+      if (Store)
+        Key = hdsStoreKey(Task.B->Name, Setup.ProfileScale, Setup.ProfileSeed,
+                          Setup.Hds);
+      if (Store && Task.Stored && !E.hasHdsArtifacts()) {
+        if (std::optional<HdsArtifacts> Art = getHdsArtifacts(*Store, Key)) {
+          E.setHdsArtifacts(std::move(*Art));
+          return;
+        }
+      }
+      const HdsArtifacts &Art = E.hdsArtifacts();
+      if (Store)
+        putHdsArtifacts(*Store, Key, Art);
+    }
   });
 
   // Stage 3: measurement recordings -- the expensive half of a sweep --
   // deduplicated per benchmark, fanned out across all benchmarks at once.
+  // Store hits load instead of recording.
   struct RecordTask {
-    Evaluation *Eval;
+    const ExperimentPlan::Benchmark *B;
     Scale S;
     uint64_t Seed;
+    bool Stored;
   };
   std::vector<RecordTask> Recordings;
-  for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks)
+  for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks) {
     for (const std::pair<Scale, uint64_t> &R : B.Recordings)
-      Recordings.push_back({B.Eval, R.first, R.second});
+      Recordings.push_back({&B, R.first, R.second, false});
+    for (const std::pair<Scale, uint64_t> &R : B.StoredRecordings)
+      Recordings.push_back({&B, R.first, R.second, true});
+  }
   Pool.parallelFor(Recordings.size(), [&](size_t I) {
-    Recordings[I].Eval->trace(Recordings[I].S, Recordings[I].Seed);
+    const RecordTask &Task = Recordings[I];
+    ObtainTrace(*Task.B, Task.S, Task.Seed, Task.Stored);
   });
 
   // Stage 4: replays, one task per (cell, trial). Every trace and

@@ -46,6 +46,8 @@
 
 namespace halo {
 
+class ArtifactStore;
+
 /// The stable spelling of \p Kind used in JSON output and CLI flags.
 const char *allocatorKindName(AllocatorKind Kind);
 
@@ -138,8 +140,19 @@ public:
     Evaluation *Eval = nullptr;
     bool NeedsHalo = false; ///< Some cell needs the HALO artifacts.
     bool NeedsHds = false;  ///< Some cell needs the HDS artifacts.
-    /// Deduplicated (scale, seed) measurement recordings, sorted.
+    /// Store hits resolved at buildPlan time (always false without a
+    /// store). A stored trace/artifact becomes a load task instead of a
+    /// record/materialise task, pruning that work from the DAG; runPlan
+    /// still self-heals if an entry disappears or decodes corrupt by
+    /// recomputing (and re-publishing) inline.
+    bool HaloStored = false;
+    bool HdsStored = false;
+    bool ProfileStored = false; ///< The profile-scale trace is stored.
+    /// Deduplicated (scale, seed) measurement recordings the plan must
+    /// *record*, sorted. Store hits live in StoredRecordings instead.
     std::vector<std::pair<Scale, uint64_t>> Recordings;
+    /// Measurement recordings resolved from the store (load, not record).
+    std::vector<std::pair<Scale, uint64_t>> StoredRecordings;
   };
 
   /// One cell: a (benchmark, machine, kind) coordinate plus its trial
@@ -156,20 +169,33 @@ public:
   const std::vector<Benchmark> &benchmarks() const { return Benchmarks; }
   const std::vector<Cell> &cells() const { return Cells; }
 
-  /// Total deduplicated measurement recordings across benchmarks.
+  /// Total deduplicated measurement recordings the plan will *record*
+  /// (store hits are not counted: they are loads, not recordings).
   size_t numRecordings() const;
-  /// HALO/HDS pipeline materialisations the plan will run.
+  /// HALO/HDS pipeline materialisations the plan will run (store hits
+  /// excluded for the same reason).
   size_t numArtifactTasks() const;
   /// Total replay tasks (cells x their trials).
   size_t numReplays() const;
+  /// Profile-scale recordings the plan will capture: benchmarks with at
+  /// least one cold pipeline whose profile trace is not stored.
+  size_t numProfileRecordings() const;
+  /// Measurement recordings resolved from the artifact store.
+  size_t numStoredRecordings() const;
+  /// Pipeline artifact bundles resolved from the artifact store.
+  size_t numStoredArtifacts() const;
+  /// The store consulted at build time and published to at run time.
+  ArtifactStore *store() const { return Store; }
 
 private:
   friend ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
-                                  const std::vector<Evaluation *> &External);
+                                  const std::vector<Evaluation *> &External,
+                                  ArtifactStore *Store);
   friend ResultSet runPlan(ExperimentPlan &Plan, int Jobs);
   std::vector<Benchmark> Benchmarks;
   std::vector<Cell> Cells;
   std::vector<std::unique_ptr<Evaluation>> Owned;
+  ArtifactStore *Store = nullptr;
 };
 
 /// Expands \p Specs into a plan. Benchmarks deduplicate by name across
@@ -178,8 +204,17 @@ private:
 /// named by an Evaluation in \p External is measured through that caller
 /// instance (its cached traces and artifacts are reused) instead of a
 /// plan-owned one. Throws std::invalid_argument for unknown benchmarks.
+///
+/// With \p Store, every recording and artifact key is first looked up in
+/// the content-addressed store: hits turn into load tasks (pruning the
+/// record/materialise work from the DAG -- a fully warm plan schedules
+/// zero of either), misses run cold and publish their results for the
+/// next plan. Results are bit-identical either way: loaded traces replay
+/// exactly as recorded ones and loaded artifacts rebuild their derived
+/// state deterministically.
 ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
-                         const std::vector<Evaluation *> &External = {});
+                         const std::vector<Evaluation *> &External = {},
+                         ArtifactStore *Store = nullptr);
 
 /// Executes \p Plan on one Executor pool (\p Jobs as resolveJobs()
 /// interprets it) in four stages -- profile recordings, pipeline

@@ -2,6 +2,7 @@
 
 #include "graph/AffinityGraph.h"
 
+#include "support/BinaryIO.h"
 #include "support/Dot.h"
 
 #include <algorithm>
@@ -161,4 +162,49 @@ std::string AffinityGraph::toDot(const std::vector<std::string> &LabelOf,
     Writer.addEdge(std::to_string(E.U), std::to_string(E.V), Pen);
   }
   return Writer.str();
+}
+
+void AffinityGraph::save(BinaryWriter &W) const {
+  std::vector<GraphNodeId> Ordered = nodes();
+  W.varint(Ordered.size());
+  for (GraphNodeId Node : Ordered) {
+    W.varint(Node);
+    W.varint(nodeAccesses(Node));
+  }
+  std::vector<Edge> OrderedEdges = edges();
+  W.varint(OrderedEdges.size());
+  for (const Edge &E : OrderedEdges) {
+    W.varint(E.U);
+    W.varint(E.V);
+    W.varint(E.Weight);
+  }
+  W.varint(TotalAccesses);
+}
+
+AffinityGraph AffinityGraph::load(BinaryReader &R) {
+  AffinityGraph Graph;
+  uint64_t NumNodes = R.varint();
+  for (uint64_t I = 0; I < NumNodes; ++I) {
+    uint64_t Node = R.varint();
+    if (Node > UINT32_MAX)
+      throw SerializationError("affinity graph: node id out of range");
+    uint64_t Count = R.varint();
+    Graph.Accesses[static_cast<GraphNodeId>(Node)] = Count;
+    Graph.TotalAccesses += Count;
+  }
+  uint64_t NumEdges = R.varint();
+  for (uint64_t I = 0; I < NumEdges; ++I) {
+    uint64_t U = R.varint();
+    uint64_t V = R.varint();
+    if (U > UINT32_MAX || V > UINT32_MAX)
+      throw SerializationError("affinity graph: edge endpoint out of range");
+    uint64_t Weight = R.varint();
+    Graph.Edges[edgeKey(static_cast<GraphNodeId>(U),
+                        static_cast<GraphNodeId>(V))] = Weight;
+  }
+  // The total is redundant with the node sum by construction; a mismatch
+  // means the entry was not produced by save().
+  if (R.varint() != Graph.TotalAccesses)
+    throw SerializationError("affinity graph: total access count mismatch");
+  return Graph;
 }

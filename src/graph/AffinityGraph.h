@@ -25,6 +25,8 @@
 namespace halo {
 
 class AdjacencySnapshot;
+class BinaryWriter;
+class BinaryReader;
 
 /// Nodes are identified by dense context ids (trace/Context.h assigns them);
 /// the graph itself only needs their numeric identity.
@@ -110,6 +112,15 @@ public:
   std::string toDot(const std::vector<std::string> &LabelOf,
                     const std::vector<int> &GroupOf,
                     uint64_t MinEdgeWeight = 0) const;
+
+  /// Writes nodes and edges in their deterministic orders plus the total
+  /// access count; the byte stream is identical for equal graphs no matter
+  /// what insertion order built them.
+  void save(BinaryWriter &W) const;
+
+  /// Decodes a save()d graph; throws SerializationError if the recorded
+  /// total disagrees with the node sum (corruption).
+  static AffinityGraph load(BinaryReader &R);
 
 private:
   static uint64_t edgeKey(GraphNodeId U, GraphNodeId V);

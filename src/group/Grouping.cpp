@@ -3,6 +3,7 @@
 #include "group/Grouping.h"
 
 #include "graph/Adjacency.h"
+#include "support/BinaryIO.h"
 
 #include <algorithm>
 #include <cassert>
@@ -388,4 +389,36 @@ std::vector<Group> halo::buildComponentGroups(const AffinityGraph &Input,
     }
   }
   return finalizeGroups(std::move(Groups), Options);
+}
+
+void halo::saveGroups(const std::vector<Group> &Groups, BinaryWriter &W) {
+  W.varint(Groups.size());
+  for (const Group &G : Groups) {
+    W.varint(G.Members.size());
+    for (GraphNodeId Member : G.Members)
+      W.varint(Member);
+    W.varint(G.Weight);
+    W.varint(G.Accesses);
+  }
+}
+
+std::vector<Group> halo::loadGroups(BinaryReader &R) {
+  std::vector<Group> Groups;
+  uint64_t Count = R.varint();
+  Groups.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I < Count; ++I) {
+    Group G;
+    uint64_t Members = R.varint();
+    G.Members.reserve(static_cast<size_t>(Members));
+    for (uint64_t J = 0; J < Members; ++J) {
+      uint64_t Member = R.varint();
+      if (Member > UINT32_MAX)
+        throw SerializationError("groups: member id out of range");
+      G.Members.push_back(static_cast<GraphNodeId>(Member));
+    }
+    G.Weight = R.varint();
+    G.Accesses = R.varint();
+    Groups.push_back(std::move(G));
+  }
+  return Groups;
 }

@@ -27,6 +27,8 @@
 namespace halo {
 
 /// Tuning knobs of Figure 6 plus the artefact's --max-groups flag.
+// (BinaryWriter/BinaryReader come in via graph/AffinityGraph.h's forward
+// declarations; saveGroups/loadGroups below use them.)
 struct GroupingOptions {
   /// Edges lighter than this are dropped before grouping (args.min_weight).
   uint64_t MinEdgeWeight = 2;
@@ -80,6 +82,14 @@ std::vector<Group> buildGroupsReference(const AffinityGraph &Graph,
 /// what a cut-based scheme with no density objective produces.
 std::vector<Group> buildComponentGroups(const AffinityGraph &Graph,
                                         const GroupingOptions &Options);
+
+/// Serializes \p Groups (members, weight, popularity) preserving order --
+/// the popularity order identification depends on survives a round trip.
+void saveGroups(const std::vector<Group> &Groups, BinaryWriter &W);
+
+/// Decodes a saveGroups() stream; throws SerializationError on truncation
+/// or out-of-range member ids.
+std::vector<Group> loadGroups(BinaryReader &R);
 
 } // namespace halo
 

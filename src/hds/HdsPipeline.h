@@ -31,6 +31,8 @@
 namespace halo {
 
 class EventTrace;
+class BinaryWriter;
+class BinaryReader;
 
 struct HdsParameters {
   ProfileOptions Profile; ///< RecordReferenceTrace is forced on.
@@ -62,6 +64,15 @@ HdsArtifacts optimizeBinaryHds(const Program &Prog,
 HdsArtifacts optimizeBinaryHds(const Program &Prog, const EventTrace &Trace,
                                const HdsParameters &Params = HdsParameters(),
                                const MachineConfig &Machine = defaultMachine());
+
+/// Serializes \p Art (stream analysis + chosen co-allocation sets) behind a
+/// versioned header. SiteToGroup is not written: it is siteGroupMap(Groups)
+/// by construction, and loadHdsArtifacts re-derives it.
+void saveHdsArtifacts(const HdsArtifacts &Art, BinaryWriter &W);
+
+/// Decodes a saveHdsArtifacts() stream; throws SerializationError on bad
+/// magic/version or truncation.
+HdsArtifacts loadHdsArtifacts(BinaryReader &R);
 
 } // namespace halo
 

@@ -41,6 +41,15 @@ struct IdentificationResult {
 IdentificationResult identifyGroups(const std::vector<Group> &Groups,
                                     const ContextTable &Contexts);
 
+/// Serializes selectors (per-group DNF terms) and the instrumentation site
+/// list, both order-preserving: bit assignment in InstrumentationPlan
+/// follows Sites order, so a round trip compiles to identical masks.
+void saveIdentification(const IdentificationResult &Result, BinaryWriter &W);
+
+/// Decodes a saveIdentification() stream; throws SerializationError on
+/// truncation or out-of-range site ids.
+IdentificationResult loadIdentification(BinaryReader &R);
+
 } // namespace halo
 
 #endif // HALO_IDENTIFY_IDENTIFY_H

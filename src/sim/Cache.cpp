@@ -33,8 +33,19 @@ Cache::Cache(const CacheConfig &Config) : Config(Config) {
                           (~0ull >> LineShift) >> SetP2Shift);
   }
   Slots.assign(uint64_t(Sets) * Config.Ways, Slot{InvalidTag, 0});
+  initEmptyClocks();
   Mru.assign(Sets, 0);
   MruTag.assign(Sets, InvalidTag);
+}
+
+void Cache::initEmptyClocks() {
+  // Unique empty-slot clocks: way I of every set starts at use clock I and
+  // the global clock starts at Ways, so every live clock exceeds every
+  // empty one and the victim scan's strict < picks the same slot the old
+  // all-zeros, first-wins scheme did (empties fill in index order).
+  for (uint64_t I = 0; I < Slots.size(); ++I)
+    Slots[I].Use = I % Config.Ways;
+  Clock = Config.Ways;
 }
 
 bool Cache::contains(uint64_t Addr) const {
@@ -48,7 +59,8 @@ bool Cache::contains(uint64_t Addr) const {
 
 void Cache::reset() {
   Slots.assign(Slots.size(), Slot{InvalidTag, 0});
+  initEmptyClocks();
   Mru.assign(Sets, 0);
   MruTag.assign(Sets, InvalidTag);
-  Clock = Hits = Misses = 0;
+  Hits = Misses = 0;
 }

@@ -118,11 +118,19 @@ public:
   uint32_t numSets() const { return Sets; }
 
 private:
+  /// Seeds empty slots with their unique per-set clocks and floors the
+  /// global clock above them (constructor and reset()).
+  void initEmptyClocks();
+
   /// One way's packed metadata: a power-of-two stride (the old Way struct
   /// was 24 bytes with a padding-swollen valid flag).
   struct Slot {
     uint64_t Tag;
-    uint64_t Use; ///< LRU clock; 0 = never filled (live clocks start at 1).
+    uint64_t Use; ///< LRU clock. Empty slots hold their way index (unique,
+                  ///< below every live clock: the global clock starts at
+                  ///< Ways), so victim tracking never ties and empty sets
+                  ///< still fill in index order -- decisions bit-identical
+                  ///< to the old all-zeros scheme.
   };
 
   /// Empty-slot tag marker. No simulated address reaches it: a real tag of
@@ -144,9 +152,12 @@ private:
   }
 
   /// Full way scan after an MRU mismatch: hit anywhere in the set, or evict
-  /// the LRU way (empty slots have use clock 0, so they lose every LRU
-  /// comparison and fill first). One pass finds both a hit and the LRU
-  /// victim (a separate min-scan pass measured ~2x slower end to end).
+  /// the LRU way (empty slots hold unique clocks below every live clock --
+  /// see the constructor -- so they lose every LRU comparison and fill in
+  /// index order). One pass finds both a hit and the LRU victim (a separate
+  /// min-scan pass measured ~2x slower end to end). With all use clocks
+  /// unique the min-tracking never ties, so the victim update is written as
+  /// two selects (no branch to predict) instead of a compare-and-branch.
   bool scanInsert(uint32_t Set, uint64_t Tag) {
     assert(Tag != InvalidTag && "address saturates the tag space");
     ++Clock;
@@ -163,10 +174,9 @@ private:
         return true;
       }
       uint64_t Use = S->Use;
-      if (Use < VictimUse) {
-        Victim = S;
-        VictimUse = Use;
-      }
+      bool Older = Use < VictimUse;
+      Victim = Older ? S : Victim;
+      VictimUse = Older ? Use : VictimUse;
     }
     ++Misses;
     Victim->Tag = Tag;

@@ -1,0 +1,100 @@
+//===- support/Hash.h - Stable content hashing ------------------*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a content hashing for the artifact store (store/ArtifactStore.h).
+/// Store entries are addressed by the hash of a *canonical key encoding*:
+/// every key component is fed to a HashBuilder in a fixed order and a fixed
+/// width, so two keys collide only if every component matches and any
+/// component change -- benchmark, scale, seed, a pipeline option, the
+/// schema version stamp -- yields a new address (cache invalidation is key
+/// change, never mutation; the discipline of Nix's content-addressed
+/// store). The same primitive checksums entry payloads on disk.
+///
+/// The hash must be stable across processes, platforms, and PRs: no
+/// std::hash (implementation-defined), no pointer or iteration-order
+/// inputs. FNV-1a over explicit little-endian bytes is exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_HASH_H
+#define HALO_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace halo {
+
+/// 64-bit FNV-1a over a byte range.
+inline uint64_t fnv1a(const void *Data, size_t Size,
+                      uint64_t Seed = 0xcbf29ce484222325ull) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// Incremental FNV-1a over a canonical key encoding. Every scalar is fed
+/// as fixed-width little-endian bytes and every string is length-prefixed,
+/// so component boundaries are unambiguous ("ab"+"c" never hashes like
+/// "a"+"bc") and the result is identical on every host.
+class HashBuilder {
+public:
+  HashBuilder &bytes(const void *Data, size_t Size) {
+    H = fnv1a(Data, Size, H);
+    return *this;
+  }
+
+  HashBuilder &u64(uint64_t V) {
+    uint8_t B[8];
+    for (int I = 0; I < 8; ++I)
+      B[I] = static_cast<uint8_t>(V >> (8 * I));
+    return bytes(B, sizeof(B));
+  }
+
+  HashBuilder &u32(uint32_t V) { return u64(V); }
+  HashBuilder &boolean(bool V) { return u64(V ? 1 : 0); }
+
+  /// Doubles hash by bit pattern: option structs carry exact configured
+  /// values (0.05, 0.9, ...), and the bit pattern is the only encoding
+  /// that never conflates two of them.
+  HashBuilder &f64(double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V), "double is not 64-bit");
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    return u64(Bits);
+  }
+
+  HashBuilder &str(const std::string &S) {
+    u64(S.size());
+    return bytes(S.data(), S.size());
+  }
+
+  uint64_t hash() const { return H; }
+
+private:
+  uint64_t H = 0xcbf29ce484222325ull; ///< FNV-1a offset basis.
+};
+
+/// \p Hash as 16 lowercase hex digits (store entry file-name prefix).
+inline std::string hashHex(uint64_t Hash) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Text(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Text[static_cast<size_t>(I)] = Digits[Hash & 0xF];
+    Hash >>= 4;
+  }
+  return Text;
+}
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_HASH_H

@@ -2,6 +2,8 @@
 
 #include "trace/Context.h"
 
+#include "support/BinaryIO.h"
+
 #include <algorithm>
 
 using namespace halo;
@@ -57,6 +59,46 @@ ContextId ContextTable::intern(const Context &Reduced) {
     Infos.push_back(std::move(Info));
   }
   return It->second;
+}
+
+void ContextTable::save(BinaryWriter &W) const {
+  W.varint(Infos.size());
+  for (const ContextInfo &Info : Infos) {
+    W.varint(Info.Frames.size());
+    for (const CallFrame &F : Info.Frames) {
+      W.varint(F.Function);
+      W.varint(F.Site);
+    }
+    W.varint(Info.Allocations);
+  }
+}
+
+ContextTable ContextTable::load(BinaryReader &R) {
+  ContextTable Table;
+  uint64_t Count = R.varint();
+  for (uint64_t I = 0; I < Count; ++I) {
+    Context Frames;
+    uint64_t NumFrames = R.varint();
+    Frames.reserve(static_cast<size_t>(NumFrames));
+    for (uint64_t J = 0; J < NumFrames; ++J) {
+      CallFrame F;
+      uint64_t Function = R.varint();
+      uint64_t Site = R.varint();
+      if (Function > UINT32_MAX || Site > UINT32_MAX)
+        throw SerializationError("context table: frame id out of range");
+      F.Function = static_cast<FunctionId>(Function);
+      F.Site = static_cast<CallSiteId>(Site);
+      Frames.push_back(F);
+    }
+    // Re-interning replays the original assignment order, so the id must
+    // come back unchanged; a duplicate context would collapse onto an
+    // earlier id and shift every later one.
+    ContextId Id = Table.intern(Frames);
+    if (Id != I)
+      throw SerializationError("context table: duplicate context on load");
+    Table.info(Id).Allocations = R.varint();
+  }
+  return Table;
 }
 
 std::string ContextTable::describe(ContextId Id, const Program &Prog) const {

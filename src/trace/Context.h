@@ -28,6 +28,9 @@
 
 namespace halo {
 
+class BinaryWriter;
+class BinaryReader;
+
 using ContextId = uint32_t;
 
 /// One entry of a context: \c Function was entered through \c Site.
@@ -77,6 +80,15 @@ public:
 
   /// Renders a context as "f1>f2>f3@site" style text for reports.
   std::string describe(ContextId Id, const Program &Prog) const;
+
+  /// Writes every interned context (frames + allocation counts) in id
+  /// order. load() re-interns them, so ids, chains, and describe() output
+  /// round-trip exactly (Chain is a pure function of the frames).
+  void save(BinaryWriter &W) const;
+
+  /// Decodes a save()d table; throws SerializationError on malformed
+  /// input (ids out of order would mean a non-faithful re-interning).
+  static ContextTable load(BinaryReader &R);
 
 private:
   struct FrameHash {

@@ -2,6 +2,8 @@
 
 #include "trace/EventTrace.h"
 
+#include "support/BinaryIO.h"
+
 #include <cassert>
 
 using namespace halo;
@@ -174,3 +176,62 @@ void TraceRecorder::onReallocBegin(uint64_t OldAddr, uint64_t NewSize,
 }
 
 void TraceRecorder::onReallocEnd(uint64_t) { InRealloc = false; }
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// "HTRC": the on-disk event-trace format.
+constexpr uint32_t TraceMagic = 0x43525448;
+constexpr uint32_t TraceFormatVersion = 1;
+} // namespace
+
+void EventTrace::save(BinaryWriter &W) const {
+  W.u32(TraceMagic);
+  W.u32(TraceFormatVersion);
+  W.varint(Counts.Calls);
+  W.varint(Counts.Returns);
+  W.varint(Counts.Allocs);
+  W.varint(Counts.Frees);
+  W.varint(Counts.Loads);
+  W.varint(Counts.Stores);
+  W.varint(Counts.RawLoads);
+  W.varint(Counts.RawStores);
+  W.varint(Counts.Computes);
+  W.varint(Counts.Reallocs);
+  W.varint(Objects);
+  W.varint(Buffer.size());
+  W.bytes(Buffer.data(), Buffer.size());
+}
+
+EventTrace EventTrace::load(BinaryReader &R) {
+  if (R.u32() != TraceMagic)
+    throw SerializationError("event trace: bad magic");
+  uint32_t Version = R.u32();
+  if (Version != TraceFormatVersion)
+    throw SerializationError("event trace: unknown format version " +
+                             std::to_string(Version));
+  EventTrace Trace;
+  Trace.Counts.Calls = R.varint();
+  Trace.Counts.Returns = R.varint();
+  Trace.Counts.Allocs = R.varint();
+  Trace.Counts.Frees = R.varint();
+  Trace.Counts.Loads = R.varint();
+  Trace.Counts.Stores = R.varint();
+  Trace.Counts.RawLoads = R.varint();
+  Trace.Counts.RawStores = R.varint();
+  Trace.Counts.Computes = R.varint();
+  Trace.Counts.Reallocs = R.varint();
+  uint64_t Objects = R.varint();
+  // Object ids are minted by Alloc/Realloc records; a count disagreeing
+  // with the header means the entry is not a faithful recording.
+  if (Objects != Trace.Counts.Allocs + Trace.Counts.Reallocs ||
+      Objects > UINT32_MAX)
+    throw SerializationError("event trace: object count mismatch");
+  Trace.Objects = static_cast<ObjectId>(Objects);
+  uint64_t Size = R.varint();
+  Trace.Buffer.resize(static_cast<size_t>(Size));
+  R.bytes(Trace.Buffer.data(), Trace.Buffer.size());
+  return Trace;
+}

@@ -41,6 +41,9 @@
 
 namespace halo {
 
+class BinaryWriter;
+class BinaryReader;
+
 /// Tag byte of each trace record. Operands are LEB128 varints. Every
 /// consumer dispatches on this with a fully-enumerated switch (no
 /// default), so adding an op here makes -Wswitch flag each site that
@@ -203,6 +206,21 @@ public:
   uint32_t numObjects() const { return Objects; }
   uint64_t byteSize() const { return Buffer.size(); }
   bool empty() const { return Buffer.empty(); }
+
+  // -- Serialization -----------------------------------------------------
+  /// Writes the trace to \p W: a versioned header (magic, format version,
+  /// per-kind record counts, object count) followed by the varint event
+  /// buffer verbatim. The buffer is already flat and allocator-independent,
+  /// so save/load round-trips it byte-identically -- a loaded trace replays
+  /// bit-identically to the recording it came from. The format version
+  /// guards the *encoding*; the artifact store additionally stamps every
+  /// entry with the store schema version (cache invalidation by key).
+  void save(BinaryWriter &W) const;
+
+  /// Decodes a save()d trace. Throws SerializationError on bad magic,
+  /// unknown version, truncation, or a header inconsistent with the
+  /// payload (callers fall back to re-recording).
+  static EventTrace load(BinaryReader &R);
 
 private:
   static size_t putVarint(uint8_t *Tmp, size_t N, uint64_t V) {
