@@ -15,10 +15,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "graph/Adjacency.h"
 #include "group/Grouping.h"
 #include "profile/AffinityQueue.h"
 #include "profile/LiveObjectMap.h"
+#include "support/Executor.h"
 #include "support/Rng.h"
 
 #include <algorithm>
@@ -111,24 +113,26 @@ bool sameGroups(const std::vector<Group> &A, const std::vector<Group> &B) {
   return true;
 }
 
+/// Renders the rows and hands them to the shared writer (fresh write: this
+/// bench owns BENCH_pipeline.json's array; bench_replay appends after).
 void writeJson(const std::string &Path, const std::vector<BenchRow> &Rows) {
-  FILE *Out = std::fopen(Path.c_str(), "w");
-  if (!Out) {
-    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
-    std::exit(1);
+  std::vector<std::string> Lines;
+  Lines.reserve(Rows.size());
+  for (const BenchRow &R : Rows) {
+    char Line[256];
+    int N = std::snprintf(
+        Line, sizeof(Line),
+        "  {\"bench\": \"%s\", \"nodes\": %llu, \"edges\": %llu, "
+        "\"wall_ms\": %.3f, \"trials\": %d}",
+        R.Bench.c_str(), static_cast<unsigned long long>(R.Nodes),
+        static_cast<unsigned long long>(R.Edges), R.WallMs, R.Trials);
+    if (N < 0 || N >= static_cast<int>(sizeof(Line))) {
+      std::fprintf(stderr, "bench row for %s too long\n", R.Bench.c_str());
+      std::exit(1);
+    }
+    Lines.push_back(Line);
   }
-  std::fprintf(Out, "[\n");
-  for (size_t I = 0; I < Rows.size(); ++I) {
-    const BenchRow &R = Rows[I];
-    std::fprintf(Out,
-                 "  {\"bench\": \"%s\", \"nodes\": %llu, \"edges\": %llu, "
-                 "\"wall_ms\": %.3f, \"trials\": %d}%s\n",
-                 R.Bench.c_str(), static_cast<unsigned long long>(R.Nodes),
-                 static_cast<unsigned long long>(R.Edges), R.WallMs, R.Trials,
-                 I + 1 < Rows.size() ? "," : "");
-  }
-  std::fprintf(Out, "]\n");
-  std::fclose(Out);
+  bench::writeJsonRows(Path, Lines, /*Append=*/false);
 }
 
 } // namespace
@@ -191,6 +195,73 @@ int main(int Argc, char **Argv) {
                 "(%zu groups)\n",
                 N, static_cast<unsigned long long>(G.numEdges()), OptMs,
                 Opt.size());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Sharded grouping: a many-component graph (disjoint power-law islands,
+  // the shape component partitioning exploits) grouped serially and via
+  // buildGroupsParallel at several worker counts. Output identity against
+  // the serial path is asserted in-bench -- a divergence is fatal, not a
+  // slower row.
+  //===--------------------------------------------------------------------===//
+
+  {
+    const uint32_t Components = 512, NodesPer = 64;
+    const uint32_t N = Components * NodesPer;
+    Rng Random(4242);
+    AffinityGraph G;
+    for (uint32_t C = 0; C < Components; ++C) {
+      const uint32_t Base = C * NodesPer;
+      for (uint32_t Node = 0; Node < NodesPer; ++Node) {
+        G.addAccesses(Base + Node, 1 + Random.nextBelow(1000));
+        uint32_t Degree = 1 + static_cast<uint32_t>(Random.nextBelow(6));
+        for (uint32_t E = 0; E < Degree; ++E) {
+          // Hub bias within the island; never an edge across islands.
+          double R = Random.nextDouble();
+          uint32_t Target = static_cast<uint32_t>(R * R * NodesPer);
+          if (Target >= NodesPer || Target == Node)
+            continue;
+          G.addEdgeWeight(Base + Node, Base + Target,
+                          2 + Random.nextBelow(64));
+        }
+      }
+    }
+    GroupingOptions ParOptions = Options;
+    ParOptions.GroupWeightThreshold = 0.0;
+
+    std::vector<Group> Serial;
+    double SerialMs =
+        medianMs(Trials, [&] { Serial = buildGroups(G, ParOptions); });
+    Rows.push_back({"grouping_parallel_serial", N, G.numEdges(), SerialMs,
+                    Trials});
+
+    std::vector<int> JobCounts = {1, 2, 4};
+    int Hw = resolveJobs(0);
+    if (std::find(JobCounts.begin(), JobCounts.end(), Hw) == JobCounts.end())
+      JobCounts.push_back(Hw);
+    std::printf("grouping %6u nodes %7llu edges across %u components: "
+                "serial %8.2f ms (%zu groups)\n",
+                N, static_cast<unsigned long long>(G.numEdges()), Components,
+                SerialMs, Serial.size());
+    for (int Jobs : JobCounts) {
+      Executor Pool(Jobs);
+      std::vector<Group> Par = buildGroupsParallel(G, ParOptions, Pool);
+      if (!sameGroups(Serial, Par)) {
+        std::fprintf(stderr,
+                     "FATAL: parallel grouping (jobs=%d) diverged from "
+                     "serial output\n",
+                     Jobs);
+        return 1;
+      }
+      double ParMs = medianMs(Trials, [&] {
+        Par = buildGroupsParallel(G, ParOptions, Pool);
+      });
+      Rows.push_back({"grouping_parallel_j" + std::to_string(Jobs), N,
+                      G.numEdges(), ParMs, Trials});
+      std::printf("  parallel jobs=%-2d %8.2f ms  (%.2fx vs serial, outputs "
+                  "identical)\n",
+                  Jobs, ParMs, SerialMs / std::max(ParMs, 1e-6));
+    }
   }
 
   //===--------------------------------------------------------------------===//

@@ -35,7 +35,10 @@
 // through the one plan scheduler (eval/Experiment.h): traces record once
 // per (benchmark, scale, seed), pipeline artifacts materialise once per
 // benchmark, and the requested cells replay across --jobs workers at
-// benchmark x machine x kind x trial granularity. `sweep` measures
+// benchmark x machine x kind x trial granularity -- or, when there are
+// fewer cells than workers (--replay-mode auto) or on request
+// (--replay-mode sharded), across shards within each trace, so a single
+// run/baseline/hds cell fans out too. `sweep` measures
 // jemalloc/HDS/HALO on every preset (or just the one --machine names) and
 // writes the per-machine rows to BENCH_machines.json; `experiments` takes
 // the full matrix spec -- lists of benchmarks, machines, and allocator
@@ -77,6 +80,8 @@ struct CliOptions {
   std::string OutPath; ///< JSON output file ("" = stdout).
   std::string StoreVerb; ///< store: ls / gc / verify.
   std::string StoreDir;  ///< --store-dir ("" = $HALO_STORE or off).
+  ReplayMode Mode = ReplayMode::Auto; ///< --replay-mode.
+  bool SawReplayMode = false;         ///< --replay-mode given explicitly.
   int Trials = 3;
   int Jobs = 0; ///< 0 = hardware concurrency.
   uint64_t ChunkSize = 0;
@@ -97,6 +102,11 @@ struct CliOptions {
       "flags: --trials N  --jobs N  --machine NAME  --chunk-size BYTES\n"
       "       --max-spare-chunks N  --max-groups N  --affinity-distance BYTES\n"
       "       --out FILE (any JSON-emitting command)\n"
+      "       --replay-mode auto|serial|sharded: how --jobs workers split a\n"
+      "         replay -- across cells, or across shards within each trace\n"
+      "         (auto shards when cells alone would leave workers idle, so\n"
+      "         single-cell baseline/run/hds fan out too; results are\n"
+      "         bit-identical either way)\n"
       "       --machines NAME[,NAME...]|all  --kinds KIND[,KIND...]\n"
       "       --scale test|ref  --seed-base N  (experiments)\n"
       "       --store-dir DIR (or $HALO_STORE): content-addressed cache of\n"
@@ -269,6 +279,13 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Opts.SeedBase = Args.unsignedValue(Arg, /*Min=*/0);
       Opts.SawSeedBase = true;
     }
+    else if (Arg == "--replay-mode") {
+      std::string Name = Args.value(Arg);
+      if (!parseReplayMode(Name, Opts.Mode))
+        usageError("unknown replay mode '" + Name + "' for " + Arg +
+                   " (available: auto serial sharded)");
+      Opts.SawReplayMode = true;
+    }
     else if (Arg == "--out")
       Opts.OutPath = Args.value(Arg);
     else if (Arg == "--store-dir")
@@ -302,6 +319,11 @@ CliOptions parseArgs(int Argc, char **Argv) {
       usageError("unknown store verb '" + Opts.StoreVerb +
                  "' (available: ls gc verify)");
   }
+  if (Opts.SawReplayMode && Opts.Command != "baseline" &&
+      Opts.Command != "run" && Opts.Command != "hds" &&
+      Opts.Command != "sweep" && Opts.Command != "experiments")
+    usageError("--replay-mode is only valid with the measuring commands "
+               "(baseline run hds sweep experiments)");
   if (!Opts.StoreDir.empty() && Opts.Command != "store" &&
       Opts.Command != "baseline" && Opts.Command != "run" &&
       Opts.Command != "hds" && Opts.Command != "sweep" &&
@@ -496,7 +518,7 @@ int runSweep(const CliOptions &Opts) {
   std::optional<ArtifactStore> Store = openStore(Opts);
   FILE *Out = Opts.OutPath.empty() ? nullptr : openOutput(Opts.OutPath);
   ExperimentPlan Plan = buildPlan({Spec}, {}, Store ? &*Store : nullptr);
-  ResultSet Results = runPlan(Plan, Opts.Jobs);
+  ResultSet Results = runPlan(Plan, Opts.Jobs, Opts.Mode);
 
   std::vector<SweepRow> Rows = sweepRows(Results);
   sweepReport(Rows).print();
@@ -547,7 +569,7 @@ int runExperiments(const CliOptions &Opts) {
   std::optional<ArtifactStore> Store = openStore(Opts);
   FILE *Out = openOutput(Opts.OutPath);
   ExperimentPlan Plan = buildPlan({Spec}, {}, Store ? &*Store : nullptr);
-  ResultSet Results = runPlan(Plan, Opts.Jobs);
+  ResultSet Results = runPlan(Plan, Opts.Jobs, Opts.Mode);
   if (Out != stdout) {
     // With a file destination the console gets the human-readable view.
     experimentsReport(Results).print();
@@ -670,7 +692,9 @@ int main(int Argc, char **Argv) {
   else
     usage();
 
-  // A 1x1x1 plan: same scheduler and emitter as the big sweeps.
+  // A 1x1x1 plan: same scheduler and emitter as the big sweeps. With one
+  // cell the replay stage's auto mode shards within the trace, so --jobs
+  // speeds up even this single measurement.
   std::optional<ArtifactStore> Store = openStore(Opts);
   FILE *Out = openOutput(Opts.OutPath);
   ExperimentSpec Spec;
@@ -682,7 +706,7 @@ int main(int Argc, char **Argv) {
     return setupFor(Opts, Name);
   };
   ExperimentPlan Plan = buildPlan({Spec}, {}, Store ? &*Store : nullptr);
-  ResultSet Results = runPlan(Plan, Opts.Jobs);
+  ResultSet Results = runPlan(Plan, Opts.Jobs, Opts.Mode);
 
   writeRunsJson(Out, Opts.Benchmark, Opts.Command,
                 Results.cells().front().Runs);

@@ -5,6 +5,7 @@
 #include "mem/BoundaryTagAllocator.h"
 #include "mem/RandomPoolAllocator.h"
 #include "mem/SizeClassAllocator.h"
+#include "runtime/ShardedReplay.h"
 #include "support/Executor.h"
 #include "support/Stats.h"
 
@@ -41,11 +42,11 @@ Evaluation::Evaluation(BenchmarkSetup SetupIn) : Setup(std::move(SetupIn)) {
   W->build(Prog);
 }
 
-const HaloArtifacts &Evaluation::haloArtifacts() {
+const HaloArtifacts &Evaluation::haloArtifacts(Executor *GroupPool) {
   if (!HaloArt)
     HaloArt = optimizeBinary(Prog,
                              trace(Setup.ProfileScale, Setup.ProfileSeed),
-                             Setup.Halo, Setup.Machine);
+                             Setup.Halo, Setup.Machine, GroupPool);
   return *HaloArt;
 }
 
@@ -116,6 +117,17 @@ RunMetrics Evaluation::measure(const MachineConfig &Machine,
   const EventTrace &Trace = trace(S, Seed);
   return measureWith(Machine, Kind, Seed,
                      [&](Runtime &RT) { RT.replay(Trace); });
+}
+
+RunMetrics Evaluation::measure(const MachineConfig &Machine,
+                               AllocatorKind Kind, Scale S, uint64_t Seed,
+                               Executor *ShardPool) {
+  if (!ShardPool)
+    return measure(Machine, Kind, S, Seed);
+  const EventTrace &Trace = trace(S, Seed);
+  return measureWith(Machine, Kind, Seed, [&](Runtime &RT) {
+    shardedReplay(RT, Trace, *ShardPool);
+  });
 }
 
 RunMetrics Evaluation::measureDirect(AllocatorKind Kind, Scale S,

@@ -241,7 +241,7 @@ ExperimentPlan halo::buildPlan(const std::vector<ExperimentSpec> &Specs,
 // runPlan
 //===----------------------------------------------------------------------===//
 
-ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs) {
+ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode) {
   ResultSet Results;
   Results.Cells.resize(Plan.Cells.size());
   for (size_t C = 0; C < Plan.Cells.size(); ++C) {
@@ -319,8 +319,13 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs) {
     if (B.NeedsHds)
       Artifacts.push_back({&B, false, B.HdsStored});
   }
-  Pool.parallelFor(Artifacts.size(), [&](size_t I) {
-    const ArtifactTask &Task = Artifacts[I];
+  // Same axis choice as the replay stage below: when the artifact tasks
+  // alone cannot fill the pool, walk them serially here and hand the pool
+  // to the HALO pipeline's grouping stage instead (buildGroupsParallel;
+  // bit-identical artifacts either way).
+  bool ShardArtifacts =
+      Artifacts.size() < static_cast<size_t>(Pool.workers());
+  auto RunArtifact = [&](const ArtifactTask &Task, Executor *GroupPool) {
     Evaluation &E = *Task.B->Eval;
     const BenchmarkSetup &Setup = E.setup();
     if (Task.Halo) {
@@ -335,7 +340,7 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs) {
           return;
         }
       }
-      const HaloArtifacts &Art = E.haloArtifacts();
+      const HaloArtifacts &Art = E.haloArtifacts(GroupPool);
       if (Store)
         putHaloArtifacts(*Store, Key, Art);
     } else {
@@ -353,7 +358,14 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs) {
       if (Store)
         putHdsArtifacts(*Store, Key, Art);
     }
-  });
+  };
+  if (ShardArtifacts) {
+    for (const ArtifactTask &Task : Artifacts)
+      RunArtifact(Task, &Pool);
+  } else {
+    Pool.parallelFor(Artifacts.size(),
+                     [&](size_t I) { RunArtifact(Artifacts[I], nullptr); });
+  }
 
   // Stage 3: measurement recordings -- the expensive half of a sweep --
   // deduplicated per benchmark, fanned out across all benchmarks at once.
@@ -389,16 +401,32 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs) {
   for (size_t C = 0; C < Plan.Cells.size(); ++C)
     for (int T = 0; T < Plan.Cells[C].Trials; ++T)
       Replays.push_back({C, T});
-  Pool.parallelFor(Replays.size(), [&](size_t I) {
-    const ReplayTask &Task = Replays[I];
+  // The pool runs one batch at a time (a nested parallelFor inlines
+  // serially), so the stage commits to one parallel axis: across tasks
+  // with serial replays, or across shards within each trace with the
+  // tasks walked serially here. Auto shards within traces exactly when
+  // the task list alone would leave workers idle -- the 1x1x1 plans
+  // behind halo_cli run/baseline/hds are the motivating case. Either
+  // axis fills slot (C, T) with the same deterministic value.
+  bool ShardWithin = Mode == ReplayMode::Sharded ||
+                     (Mode == ReplayMode::Auto &&
+                      Replays.size() < static_cast<size_t>(Pool.workers()));
+  auto RunReplay = [&](const ReplayTask &Task, Executor *ShardPool) {
     const ExperimentPlan::Cell &PC = Plan.Cells[Task.Cell];
     Evaluation &E = *Plan.Benchmarks[PC.Bench].Eval;
     uint64_t Seed = PC.SeedBase + static_cast<uint64_t>(Task.Trial);
-    RunMetrics &Slot =
-        Results.Cells[Task.Cell].Runs[static_cast<size_t>(Task.Trial)];
-    Slot = PC.Machine ? E.measure(*PC.Machine, PC.Kind, PC.S, Seed)
-                      : E.measure(PC.Kind, PC.S, Seed);
-  });
+    const MachineConfig &M =
+        PC.Machine ? *PC.Machine : E.setup().Machine;
+    Results.Cells[Task.Cell].Runs[static_cast<size_t>(Task.Trial)] =
+        E.measure(M, PC.Kind, PC.S, Seed, ShardPool);
+  };
+  if (ShardWithin) {
+    for (const ReplayTask &Task : Replays)
+      RunReplay(Task, &Pool);
+  } else {
+    Pool.parallelFor(Replays.size(),
+                     [&](size_t I) { RunReplay(Replays[I], nullptr); });
+  }
   return Results;
 }
 

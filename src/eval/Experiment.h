@@ -35,6 +35,7 @@
 
 #include "eval/Evaluation.h"
 #include "eval/Report.h"
+#include "runtime/ShardedReplay.h"
 
 #include <cstdio>
 #include <functional>
@@ -124,7 +125,8 @@ public:
                    std::optional<int> Trials = std::nullopt) const;
 
 private:
-  friend ResultSet runPlan(class ExperimentPlan &Plan, int Jobs);
+  friend ResultSet runPlan(class ExperimentPlan &Plan, int Jobs,
+                           ReplayMode Mode);
   std::vector<Cell> Cells;
 };
 
@@ -191,7 +193,7 @@ private:
   friend ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
                                   const std::vector<Evaluation *> &External,
                                   ArtifactStore *Store);
-  friend ResultSet runPlan(ExperimentPlan &Plan, int Jobs);
+  friend ResultSet runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode);
   std::vector<Benchmark> Benchmarks;
   std::vector<Cell> Cells;
   std::vector<std::unique_ptr<Evaluation>> Owned;
@@ -220,8 +222,19 @@ ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
 /// interprets it) in four stages -- profile recordings, pipeline
 /// artifacts, measurement recordings, cell replays -- each a flat task
 /// list spanning every benchmark and machine in the plan. Results are
-/// bit-identical to a serial run regardless of Jobs.
-ResultSet runPlan(ExperimentPlan &Plan, int Jobs = 0);
+/// bit-identical to a serial run regardless of Jobs and of \p Mode.
+///
+/// \p Mode decides where the replay stage's parallelism lives. The pool
+/// runs one parallelFor batch at a time, so the stage must pick an axis:
+/// fan the (cell, trial) tasks out with each replaying serially, or walk
+/// them serially with each replay sharding its trace across the whole
+/// pool (Evaluation::measure's ShardPool overload). Auto shards within
+/// traces exactly when the task list alone cannot fill the pool -- the
+/// 1x1x1 plans behind halo_cli run/baseline/hds being the motivating
+/// case: task-level fan-out gives them nothing, intra-trace sharding
+/// scales them with --jobs.
+ResultSet runPlan(ExperimentPlan &Plan, int Jobs = 0,
+                  ReplayMode Mode = ReplayMode::Auto);
 
 //===----------------------------------------------------------------------===//
 // Shared emitters: the one JSON / table output path.

@@ -1,0 +1,485 @@
+//===- runtime/ShardedReplay.cpp - Within-trace parallel replay ------------===//
+
+#include "runtime/ShardedReplay.h"
+
+#include "runtime/Runtime.h"
+#include "support/Executor.h"
+#include "trace/EventTrace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+using namespace halo;
+
+const char *halo::replayModeName(ReplayMode Mode) {
+  switch (Mode) {
+  case ReplayMode::Auto:
+    return "auto";
+  case ReplayMode::Serial:
+    return "serial";
+  case ReplayMode::Sharded:
+    return "sharded";
+  }
+  return "auto";
+}
+
+bool halo::parseReplayMode(const std::string &Text, ReplayMode &Out) {
+  if (Text == "auto")
+    Out = ReplayMode::Auto;
+  else if (Text == "serial")
+    Out = ReplayMode::Serial;
+  else if (Text == "sharded")
+    Out = ReplayMode::Sharded;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+/// Prepass observer: captures what the shard phase cannot re-derive
+/// locally -- the address every minted object got from *this* run's
+/// allocator (in mint order, so shard decoding indexes it by object id)
+/// and each composite realloc's copy length, which depends on the serving
+/// allocator's usableSize() of the old block *before* the internal
+/// allocation replaces it (onReallocBegin fires exactly there).
+class PrepassCapture final : public RuntimeObserver {
+public:
+  explicit PrepassCapture(Allocator &Alloc) : Alloc(&Alloc) {}
+
+  void onAlloc(uint64_t Addr, uint64_t, CallSiteId) override {
+    ObjAddr.push_back(Addr);
+  }
+  void onReallocBegin(uint64_t OldAddr, uint64_t NewSize,
+                      CallSiteId) override {
+    CopyBytes.push_back(std::min(Alloc->usableSize(OldAddr), NewSize));
+  }
+
+  std::vector<uint64_t> ObjAddr;   ///< By object id (mint order).
+  std::vector<uint64_t> CopyBytes; ///< By realloc record ordinal.
+
+private:
+  Allocator *Alloc;
+};
+
+/// One shard: a record-aligned byte range of the trace plus the decode
+/// state at its start (next object id to mint, next realloc ordinal).
+struct ShardDesc {
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+  uint32_t FirstObject = 0;
+  uint64_t FirstRealloc = 0;
+};
+
+/// Operand count of each record kind; operands are varints, so a record
+/// can be skipped without decoding any values.
+size_t operandCount(TraceOp Op) {
+  switch (Op) {
+  case TraceOp::Call:
+  case TraceOp::Free:
+  case TraceOp::Compute:
+    return 1;
+  case TraceOp::Return:
+    return 0;
+  case TraceOp::Alloc:
+  case TraceOp::LoadBase:
+  case TraceOp::StoreBase:
+  case TraceOp::LoadRaw:
+  case TraceOp::StoreRaw:
+    return 2;
+  case TraceOp::Load:
+  case TraceOp::Store:
+  case TraceOp::Realloc:
+    return 3;
+  }
+  return 0;
+}
+
+/// Cuts the trace into up to \p Shards record-aligned byte ranges of
+/// roughly equal size. Traces with fewer records than shards simply yield
+/// fewer shards (never an empty range). One linear tag-and-skip scan; no
+/// operand values are decoded except implicitly through the varint
+/// continuation bit.
+std::vector<ShardDesc> planShards(const EventTrace &Trace, size_t Shards) {
+  const uint8_t *Data = Trace.data();
+  const uint64_t Total = Trace.byteSize();
+  std::vector<ShardDesc> Plan;
+  ShardDesc Cur;
+  uint64_t Pos = 0;
+  uint32_t Minted = 0;
+  uint64_t Reallocs = 0;
+  size_t CutIdx = 1;
+  while (Pos < Total) {
+    if (Pos > Cur.Begin && CutIdx < Shards && Pos >= Total * CutIdx / Shards) {
+      Cur.End = Pos;
+      Plan.push_back(Cur);
+      Cur = ShardDesc{Pos, 0, Minted, Reallocs};
+      while (CutIdx < Shards && Total * CutIdx / Shards <= Pos)
+        ++CutIdx;
+    }
+    TraceOp Op = static_cast<TraceOp>(Data[Pos++]);
+    if (Op == TraceOp::Alloc || Op == TraceOp::Realloc)
+      ++Minted;
+    if (Op == TraceOp::Realloc)
+      ++Reallocs;
+    for (size_t N = operandCount(Op); N; --N) {
+      while (Data[Pos] & 0x80)
+        ++Pos;
+      ++Pos;
+    }
+  }
+  Cur.End = Total;
+  Plan.push_back(Cur);
+  return Plan;
+}
+
+/// A first-touch miss the shard could not judge alone: fewer than Ways
+/// distinct tags preceded it in its set, so the incoming recency state
+/// decides whether the serial replay would have hit.
+struct Residual {
+  uint32_t Set;
+  uint32_t Rank;      ///< Distinct tags touched in the set before it.
+  uint64_t Tag;
+  uint64_t MissIndex; ///< Index into the shard's miss-line list (L1 only).
+};
+
+/// Private per-shard simulation of one true-LRU level (the L1 or the
+/// TLB). A set's state is its move-to-front list of line tags truncated
+/// at Ways -- exactly the content and replacement order of Cache's
+/// unique-clock LRU -- so hit/miss verdicts match Cache::access bit for
+/// bit on every line whose tag was already touched in the shard. Set
+/// index and tag use the plain remainder/quotient, which Cache::locate's
+/// shift and reciprocal-multiply paths are both exact forms of.
+class ShardLevelSim {
+public:
+  ShardLevelSim(uint32_t NumSets, uint32_t NumWays, uint32_t Shift)
+      : Sets(NumSets), Ways(NumWays), LineShift(Shift),
+        Tags(uint64_t(NumSets) * NumWays, 0), Count(NumSets, 0),
+        Distinct(NumSets, 0) {}
+
+  struct Outcome {
+    bool Hit;
+    bool IsResidual;
+    uint32_t Set;
+    uint32_t Rank;
+    uint64_t Tag;
+  };
+
+  Outcome access(uint64_t LineAddr) {
+    uint64_t Line = LineAddr >> LineShift;
+    uint32_t Set = static_cast<uint32_t>(Line % Sets);
+    uint64_t Tag = Line / Sets;
+    uint64_t *List = &Tags[uint64_t(Set) * Ways];
+    uint32_t N = Count[Set];
+    for (uint32_t I = 0; I < N; ++I) {
+      if (List[I] == Tag) { // Re-touch: exact verdict, move to front.
+        for (uint32_t J = I; J > 0; --J)
+          List[J] = List[J - 1];
+        List[0] = Tag;
+        ++Hits;
+        return {true, false, Set, 0, Tag};
+      }
+    }
+    ++Misses;
+    // While fewer than Ways distinct tags have been touched, nothing has
+    // been evicted, so an absent tag is a genuine first touch and its
+    // serial verdict depends on the incoming state: a residual. Once the
+    // distinct count reaches Ways, any absent tag -- first touch or
+    // re-touch after eviction -- is a definite miss in the serial replay
+    // too (at least Ways distinct tags intervened).
+    bool IsResidual = Distinct[Set] < Ways;
+    uint32_t Rank = Distinct[Set];
+    ++Distinct[Set];
+    uint32_t NewN = N < Ways ? N + 1 : Ways;
+    for (uint32_t J = NewN - 1; J > 0; --J)
+      List[J] = List[J - 1];
+    List[0] = Tag;
+    Count[Set] = NewN;
+    return {false, IsResidual, Set, Rank, Tag};
+  }
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint32_t numSets() const { return Sets; }
+
+  /// Final recency content of \p Set, most-recent-first (the shard's
+  /// export for the stitch's state merge).
+  const uint64_t *exportList(uint32_t Set) const {
+    return &Tags[uint64_t(Set) * Ways];
+  }
+  uint32_t exportCount(uint32_t Set) const { return Count[Set]; }
+
+private:
+  uint32_t Sets, Ways, LineShift;
+  std::vector<uint64_t> Tags;     ///< Sets * Ways, move-to-front per set.
+  std::vector<uint32_t> Count;    ///< Live entries per set.
+  std::vector<uint32_t> Distinct; ///< Distinct tags touched per set.
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// Everything one shard hands to the stitch.
+struct ShardResult {
+  ShardResult(uint32_t L1Sets, uint32_t L1Ways, uint32_t L1Shift,
+              uint32_t TlbSets, uint32_t TlbWays, uint32_t TlbShift)
+      : L1(L1Sets, L1Ways, L1Shift), Dtlb(TlbSets, TlbWays, TlbShift) {}
+
+  ShardLevelSim L1, Dtlb;
+  std::vector<uint64_t> MissLines; ///< L1 miss lines in shard order.
+  std::vector<Residual> L1Residuals;
+  std::vector<Residual> TlbResiduals;
+};
+
+/// Re-judges a shard's residuals of one level against the merged incoming
+/// recency state and returns how many flip from miss to hit. A residual
+/// of rank i (tag T, set s) was, at its moment in the serial replay,
+/// preceded in its set by the i distinct shard tags touched before it and
+/// then by the incoming tags not among them -- so T was resident exactly
+/// when i plus the incoming tags ahead of T that the shard had not
+/// re-touched leaves T within the first Ways positions. Earlier residuals
+/// of the set are exactly those i shard tags (every first touch below
+/// rank Ways is recorded as a residual), so the walk only needs each
+/// set's already-seen residual tags. \p Dead, when given, marks flipped
+/// misses' lines so the stitch does not send them to the L2.
+uint64_t judgeResiduals(const std::vector<Residual> &Residuals,
+                        const std::vector<std::vector<uint64_t>> &State,
+                        uint32_t Ways, std::vector<char> *Dead) {
+  uint64_t Flips = 0;
+  std::vector<std::vector<uint64_t>> Prior(State.size());
+  for (const Residual &R : Residuals) {
+    const std::vector<uint64_t> &In = State[R.Set];
+    std::vector<uint64_t> &P = Prior[R.Set];
+    size_t Pos = In.size();
+    for (size_t I = 0; I < In.size(); ++I)
+      if (In[I] == R.Tag) {
+        Pos = I;
+        break;
+      }
+    if (Pos != In.size()) {
+      uint64_t Extra = 0;
+      for (size_t I = 0; I < Pos; ++I)
+        if (std::find(P.begin(), P.end(), In[I]) == P.end())
+          ++Extra;
+      if (R.Rank + Extra < Ways) {
+        ++Flips;
+        if (Dead)
+          (*Dead)[R.MissIndex] = 1;
+      }
+    }
+    P.push_back(R.Tag);
+  }
+  return Flips;
+}
+
+/// Folds a finished shard's recency exports into the carried state:
+/// shard-touched tags first (in their export order), then the surviving
+/// incoming tags, truncated at Ways. Exact: an export shorter than Ways
+/// means the set never evicted, so it lists *every* tag the shard
+/// touched and the survivors are precisely the incoming tags not among
+/// them; a full export fills all Ways positions by itself.
+void mergeState(std::vector<std::vector<uint64_t>> &State,
+                const ShardLevelSim &Sim, uint32_t Ways) {
+  for (uint32_t S = 0; S < Sim.numSets(); ++S) {
+    uint32_t N = Sim.exportCount(S);
+    if (N == 0) // Untouched set: incoming state stands.
+      continue;
+    const uint64_t *Exp = Sim.exportList(S);
+    std::vector<uint64_t> Out(Exp, Exp + N);
+    for (uint64_t X : State[S]) {
+      if (Out.size() >= Ways)
+        break;
+      if (std::find(Exp, Exp + N, X) == Exp + N)
+        Out.push_back(X);
+    }
+    State[S] = std::move(Out);
+  }
+}
+
+uint32_t log2Exact(uint32_t PowerOfTwo) {
+  uint32_t Shift = 0;
+  while ((1u << Shift) < PowerOfTwo)
+    ++Shift;
+  return Shift;
+}
+
+} // namespace
+
+void halo::shardedReplay(Runtime &RT, const EventTrace &Trace, Executor &Pool,
+                         size_t NumShards) {
+  MemoryHierarchy *Mem = RT.memory();
+  size_t Shards = NumShards ? NumShards : Pool.workers();
+  // The stitch's incoming state starts cold, so a hierarchy that has
+  // already served accesses (and may hold content) must take the serial
+  // path; measurements always attach a fresh one.
+  bool ColdHierarchy =
+      Mem && Mem->l1().accesses() == 0 &&
+      Mem->tlb().hits() + Mem->tlb().misses() == 0;
+  if (!Mem || !ColdHierarchy || RT.hasObservers() || Shards <= 1 ||
+      Trace.empty()) {
+    RT.replay(Trace);
+    return;
+  }
+
+  std::vector<ShardDesc> Plan = planShards(Trace, Shards);
+  if (Plan.size() <= 1) {
+    RT.replay(Trace);
+    return;
+  }
+
+  // Serial prepass: the whole replay minus the memory simulation. Stats,
+  // allocator state, instrumentation, group state, and compute cycles
+  // evolve exactly as a serial replay's would (Runtime guards every
+  // hierarchy touch behind the Memory pointer), and the capture observer
+  // records the address table and realloc copy lengths the shards need.
+  PrepassCapture Capture(RT.allocator());
+  Capture.ObjAddr.reserve(Trace.numObjects());
+  RT.setMemory(nullptr);
+  RT.addObserver(&Capture);
+  RT.replay(Trace);
+  RT.removeObserver(&Capture);
+  RT.setMemory(Mem);
+
+  const HierarchyConfig &HC = Mem->config();
+  const CacheConfig &TlbGeom = Mem->tlb().config();
+  const uint64_t LineSize = HC.L1.LineSize;
+  const uint64_t LineMask = LineSize - 1;
+  const uint32_t L1Sets = Mem->l1().numSets();
+  const uint32_t L1Ways = HC.L1.Ways;
+  const uint32_t L1Shift = log2Exact(HC.L1.LineSize);
+  const uint32_t TlbSets = Mem->tlb().numSets();
+  const uint32_t TlbWays = TlbGeom.Ways;
+  const uint32_t TlbShift = log2Exact(TlbGeom.LineSize);
+
+  std::vector<ShardResult> Results;
+  Results.reserve(Plan.size());
+  for (size_t S = 0; S < Plan.size(); ++S)
+    Results.emplace_back(L1Sets, L1Ways, L1Shift, TlbSets, TlbWays, TlbShift);
+
+  const std::vector<uint64_t> &ObjAddr = Capture.ObjAddr;
+  const std::vector<uint64_t> &CopyBytes = Capture.CopyBytes;
+
+  // Shard phase: each task decodes its byte range, resolves accesses
+  // through the captured address table, and simulates the L1 and TLB on
+  // its private state. Line expansion mirrors MemoryHierarchy::access;
+  // realloc copy traffic mirrors Runtime::realloc's 64-byte strides.
+  Pool.parallelFor(Plan.size(), [&](size_t S) {
+    const ShardDesc &D = Plan[S];
+    ShardResult &R = Results[S];
+    uint32_t Mint = D.FirstObject;
+    uint64_t ReallocOrd = D.FirstRealloc;
+
+    auto AccessLine = [&](uint64_t LineAddr) {
+      ShardLevelSim::Outcome T = R.Dtlb.access(LineAddr);
+      if (T.IsResidual)
+        R.TlbResiduals.push_back(Residual{T.Set, T.Rank, T.Tag, 0});
+      ShardLevelSim::Outcome L = R.L1.access(LineAddr);
+      if (!L.Hit) {
+        if (L.IsResidual)
+          R.L1Residuals.push_back(
+              Residual{L.Set, L.Rank, L.Tag, R.MissLines.size()});
+        R.MissLines.push_back(LineAddr);
+      }
+    };
+    auto AccessSpan = [&](uint64_t Addr, uint64_t Size) {
+      uint64_t First = Addr & ~LineMask;
+      uint64_t Last = (Addr + (Size ? Size : 1) - 1) & ~LineMask;
+      for (uint64_t Line = First;; Line += LineSize) {
+        AccessLine(Line);
+        if (Line == Last)
+          break;
+      }
+    };
+
+    EventTrace::Reader Rd = Trace.reader(D.Begin, D.End);
+    while (!Rd.atEnd()) {
+      switch (Rd.op()) {
+      case TraceOp::Call:
+      case TraceOp::Free:
+      case TraceOp::Compute:
+        Rd.varint();
+        break;
+      case TraceOp::Return:
+        break;
+      case TraceOp::Alloc:
+        Rd.varint();
+        Rd.varint();
+        ++Mint;
+        break;
+      case TraceOp::Load:
+      case TraceOp::Store: {
+        uint64_t Id = Rd.varint();
+        uint64_t Offset = Rd.varint();
+        AccessSpan(ObjAddr[Id] + Offset, Rd.varint());
+        break;
+      }
+      case TraceOp::LoadBase:
+      case TraceOp::StoreBase: {
+        uint64_t Id = Rd.varint();
+        AccessSpan(ObjAddr[Id], Rd.varint());
+        break;
+      }
+      case TraceOp::LoadRaw:
+      case TraceOp::StoreRaw: {
+        uint64_t Addr = Rd.varint();
+        AccessSpan(Addr, Rd.varint());
+        break;
+      }
+      case TraceOp::Realloc: {
+        uint64_t Old = Rd.varint();
+        Rd.varint(); // Site: allocation itself happened in the prepass.
+        Rd.varint(); // New size: the captured copy length already caps it.
+        uint64_t OldAddr = ObjAddr[Old];
+        uint64_t NewAddr = ObjAddr[Mint++];
+        uint64_t Copy = CopyBytes[ReallocOrd++];
+        for (uint64_t Off = 0; Off < Copy; Off += 64) {
+          uint64_t Span = std::min<uint64_t>(64, Copy - Off);
+          AccessSpan(OldAddr + Off, Span);
+          AccessSpan(NewAddr + Off, Span);
+        }
+        break;
+      }
+      }
+    }
+  });
+
+  // Serial stitch in trace order: judge residuals against the carried
+  // recency state, drive the surviving L1 misses through the real L2/L3
+  // (their content and counters then evolve exactly as under a serial
+  // replay), merge each shard's recency exports, and credit the totals.
+  std::vector<std::vector<uint64_t>> L1State(L1Sets), TlbState(TlbSets);
+  uint64_t L1Hits = 0, L1Misses = 0, TlbHits = 0, TlbMisses = 0;
+  uint64_t BeyondCycles = 0;
+  for (size_t S = 0; S < Plan.size(); ++S) {
+    ShardResult &R = Results[S];
+    std::vector<char> Dead(R.MissLines.size(), 0);
+    uint64_t L1Flips = judgeResiduals(R.L1Residuals, L1State, L1Ways, &Dead);
+    uint64_t TlbFlips =
+        judgeResiduals(R.TlbResiduals, TlbState, TlbWays, nullptr);
+    L1Hits += R.L1.hits() + L1Flips;
+    L1Misses += R.L1.misses() - L1Flips;
+    TlbHits += R.Dtlb.hits() + TlbFlips;
+    TlbMisses += R.Dtlb.misses() - TlbFlips;
+    for (size_t I = 0; I < R.MissLines.size(); ++I)
+      if (!Dead[I])
+        BeyondCycles += Mem->accessBeyondL1(R.MissLines[I]);
+    mergeState(L1State, R.L1, L1Ways);
+    mergeState(TlbState, R.Dtlb, TlbWays);
+  }
+
+  assert(L1Hits + L1Misses == TlbHits + TlbMisses &&
+         "every line costs one TLB and one L1 lookup");
+
+  // Serial cost decomposition, regrouped: each line pays its TLB-miss
+  // penalty plus exactly one of the level latencies, so the stall total
+  // (and the one timing credit replay would have accumulated) is a sum of
+  // the final counts.
+  const LatencyModel &Lat = HC.Latency;
+  uint64_t Total = uint64_t(Lat.L1Hit) * L1Hits +
+                   uint64_t(Lat.TlbMiss) * TlbMisses + BeyondCycles;
+  Mem->creditL1(L1Hits, L1Misses);
+  Mem->creditTlb(TlbHits, TlbMisses);
+  Mem->addStallCycles(Total);
+  RT.timing().addMemory(Total);
+}

@@ -1,0 +1,91 @@
+//===- runtime/ShardedReplay.h - Within-trace parallel replay ---*- C++ -*-===//
+//
+// Part of the HALO reproduction. Distributed under the BSD 3-clause licence.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel replay of a single event trace: the memory-hierarchy
+/// simulation -- the dominant cost of a measurement -- is sharded across an
+/// Executor while everything order-dependent stays serial. The result is
+/// bit-identical to Runtime::replay on one thread; no approximation mode is
+/// needed.
+///
+/// The decomposition exploits how the serial replay actually spends its
+/// work:
+///
+///   1. A serial *prepass* replays the trace with the hierarchy detached:
+///      allocator, instrumentation, group state, event counters, and
+///      compute cycles evolve exactly as in a serial replay (they are
+///      cheap), and a capture observer records each minted object's address
+///      and each composite realloc's allocator-dependent copy length.
+///   2. The trace is cut at record boundaries into byte-range *shards*.
+///      Each shard resolves its accesses through the captured address
+///      table and simulates the L1 and TLB on private per-shard state --
+///      true-LRU caches are move-to-front lists, so a shard's verdicts are
+///      exact for every line re-touched within the shard, and the only
+///      unknowns are first touches that missed with fewer than Ways
+///      distinct predecessors in their set ("residuals").
+///   3. A serial *stitch* walks the shards in trace order carrying the
+///      merged recency state: each residual is re-judged against the state
+///      the serial replay would have had (flipping it to a hit exactly
+///      when the line would still have been resident), the surviving L1
+///      miss lines drive the real L2/L3 in trace order, and the final
+///      hit/miss/stall totals are credited to the real hierarchy and the
+///      timing model.
+///
+/// See README.md ("sharded = serial") for the equivalence contract and
+/// tests/trace_shard_test.cpp for the enforcement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_RUNTIME_SHARDEDREPLAY_H
+#define HALO_RUNTIME_SHARDEDREPLAY_H
+
+#include <cstddef>
+#include <string>
+
+namespace halo {
+
+class EventTrace;
+class Executor;
+class Runtime;
+
+/// How a measurement replays its trace. Counters are bit-identical under
+/// every mode; the choice only moves work between threads.
+enum class ReplayMode {
+  /// Shard within each trace when the plan's replay tasks alone cannot
+  /// keep the pool busy; otherwise replay serially per task. The default.
+  Auto,
+  /// Always Runtime::replay on the calling thread.
+  Serial,
+  /// Always shardedReplay (which still degenerates to a serial replay for
+  /// traces too small to cut, observed runtimes, or a one-worker pool).
+  Sharded,
+};
+
+/// Stable lower-case name ("auto", "serial", "sharded") for JSON and CLI
+/// output.
+const char *replayModeName(ReplayMode Mode);
+
+/// Parses a replayModeName() string; returns false on anything else.
+bool parseReplayMode(const std::string &Text, ReplayMode &Out);
+
+/// Replays \p Trace on \p RT, sharding the memory simulation across
+/// \p Pool. \p NumShards of 0 means one shard per pool worker. Stats,
+/// timing, and hierarchy counters end up bit-identical to
+/// RT.replay(Trace); the final *content* of the L1/TLB differs (they stay
+/// cold -- per-shard state is private), which no consumer reads: every
+/// measurement runs on a fresh hierarchy and reports counters only.
+///
+/// Falls back to a plain serial replay when sharding cannot help or the
+/// prerequisites fail: no attached hierarchy, attached observers (event
+/// delivery is order-strict), a hierarchy that has already served
+/// accesses (the stitch assumes a cold L1/TLB), a single-worker pool, or
+/// a trace with too few records to cut.
+void shardedReplay(Runtime &RT, const EventTrace &Trace, Executor &Pool,
+                   size_t NumShards = 0);
+
+} // namespace halo
+
+#endif // HALO_RUNTIME_SHARDEDREPLAY_H

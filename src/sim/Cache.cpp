@@ -36,6 +36,8 @@ Cache::Cache(const CacheConfig &Config) : Config(Config) {
   initEmptyClocks();
   Mru.assign(Sets, 0);
   MruTag.assign(Sets, InvalidTag);
+  Mru2.assign(Sets, 0);
+  MruTag2.assign(Sets, InvalidTag);
 }
 
 void Cache::initEmptyClocks() {
@@ -62,5 +64,7 @@ void Cache::reset() {
   initEmptyClocks();
   Mru.assign(Sets, 0);
   MruTag.assign(Sets, InvalidTag);
+  Mru2.assign(Sets, 0);
+  MruTag2.assign(Sets, InvalidTag);
   Hits = Misses = 0;
 }

@@ -7,6 +7,16 @@
 
 using namespace halo;
 
+namespace {
+
+/// The Executor whose batch the current thread is draining, if any. The
+/// batch bookkeeping (Fn/Count/Next/Working) is a per-batch singleton, so
+/// a task calling back into its own Executor must not dispatch a second
+/// batch; parallelFor consults this to run such nested loops inline.
+thread_local const Executor *ActiveExecutor = nullptr;
+
+} // namespace
+
 unsigned halo::resolveJobs(int Jobs) {
   if (Jobs > 0)
     return static_cast<unsigned>(Jobs);
@@ -33,6 +43,14 @@ void Executor::parallelFor(size_t TaskCount,
                            const std::function<void(size_t)> &TaskFn) {
   if (TaskCount == 0)
     return;
+  if (ActiveExecutor == this) {
+    // Re-entrant call from inside one of this pool's own tasks: run the
+    // nested loop inline on this thread. Same ascending order, same
+    // exception behaviour as the serial path.
+    for (size_t I = 0; I < TaskCount; ++I)
+      TaskFn(I);
+    return;
+  }
   if (Threads.empty()) {
     // Serial reference path: exceptions propagate straight to the caller.
     for (size_t I = 0; I < TaskCount; ++I)
@@ -64,12 +82,14 @@ void Executor::parallelFor(size_t TaskCount,
 }
 
 void Executor::drainTasks() {
+  const Executor *Outer = ActiveExecutor;
+  ActiveExecutor = this;
   for (;;) {
     size_t Index;
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       if (Next >= Count)
-        return;
+        break;
       Index = Next++;
     }
     try {
@@ -81,6 +101,7 @@ void Executor::drainTasks() {
       Next = Count; // Abandon unclaimed indices; in-flight ones finish.
     }
   }
+  ActiveExecutor = Outer;
 }
 
 void Executor::workerMain() {

@@ -64,9 +64,12 @@ public:
   /// ascending order off a shared counter and the call returns only after
   /// all of them finished. If any task throws, the remaining unclaimed
   /// indices are abandoned and the first captured exception is rethrown
-  /// here after the batch drains (the pool stays usable). Not reentrant:
-  /// one parallelFor per Executor at a time, and tasks must not call back
-  /// into the same Executor.
+  /// here after the batch drains (the pool stays usable). One batch runs
+  /// at a time: a task that calls back into its own Executor gets an
+  /// inline serial loop on its thread (the batch bookkeeping is a
+  /// per-batch singleton, so nested dispatch cannot share the pool), which
+  /// keeps composed parallel stages -- e.g. a sharded replay inside a plan
+  /// task -- deadlock-free without a second scheduling policy.
   void parallelFor(size_t Count, const std::function<void(size_t)> &Fn);
 
 private:

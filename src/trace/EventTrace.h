@@ -135,6 +135,21 @@ public:
     return Reader(Buffer.data(), Buffer.data() + Buffer.size());
   }
 
+  /// Decoder over the half-open byte range [\p Begin, \p End) of the
+  /// buffer. Both bounds must fall on record boundaries -- sharded replay
+  /// derives them from a record-skipping scan (see data()) and decodes
+  /// each shard's range with an ordinary Reader.
+  Reader reader(uint64_t Begin, uint64_t End) const {
+    assert(Begin <= End && End <= Buffer.size() && "shard range out of trace");
+    return Reader(Buffer.data() + Begin, Buffer.data() + End);
+  }
+
+  /// Raw encoded bytes (byteSize() of them): a tag byte per record followed
+  /// by its varint operands. The shard-boundary scan walks this directly --
+  /// skipping operands needs no operand decoding, just the varint
+  /// continuation bit -- to cut the trace at record starts.
+  const uint8_t *data() const { return Buffer.data(); }
+
   /// Chunked batch decoder: decodes up to N records per fill() into a
   /// flat fixed-stride TraceEvent buffer, so consumers iterate an array
   /// instead of alternating decode and execution per record. (The replay

@@ -1,0 +1,341 @@
+//===- tests/trace_shard_test.cpp - Sharded replay == serial replay ----------===//
+//
+// The fourth equivalence contract (README.md, "sharded = serial"):
+// shardedReplay must produce stats, timing, and hierarchy counters
+// bit-identical to Runtime::replay on one thread -- for every workload,
+// every allocator kind, every shard count, and every edge the shard
+// planner can cut (a boundary landing next to a composite realloc, more
+// shards than records, traces too small to cut at all). The fallback
+// conditions (observers attached, warmed hierarchy, no hierarchy) must
+// degrade to a plain serial replay rather than diverge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Evaluation.h"
+#include "eval/Experiment.h"
+#include "mem/BoundaryTagAllocator.h"
+#include "mem/SizeClassAllocator.h"
+#include "runtime/ShardedReplay.h"
+#include "support/Executor.h"
+#include "trace/EventTrace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+const AllocatorKind AllKinds[] = {
+    AllocatorKind::Jemalloc,     AllocatorKind::Ptmalloc,
+    AllocatorKind::Halo,         AllocatorKind::Hds,
+    AllocatorKind::RandomPools,  AllocatorKind::HaloInstrumentedOnly,
+};
+
+/// Field-by-field bit-identity of everything a run measures (the same
+/// check trace_replay_test applies to record/replay).
+void expectSameMetrics(const RunMetrics &Serial, const RunMetrics &Sharded,
+                       const std::string &Where) {
+  SCOPED_TRACE(Where);
+  EXPECT_EQ(Serial.Cycles, Sharded.Cycles);
+  EXPECT_DOUBLE_EQ(Serial.Seconds, Sharded.Seconds);
+  EXPECT_EQ(Serial.Mem.Accesses, Sharded.Mem.Accesses);
+  EXPECT_EQ(Serial.Mem.L1Misses, Sharded.Mem.L1Misses);
+  EXPECT_EQ(Serial.Mem.L2Misses, Sharded.Mem.L2Misses);
+  EXPECT_EQ(Serial.Mem.L3Misses, Sharded.Mem.L3Misses);
+  EXPECT_EQ(Serial.Mem.TlbMisses, Sharded.Mem.TlbMisses);
+  EXPECT_EQ(Serial.Mem.StallCycles, Sharded.Mem.StallCycles);
+  EXPECT_EQ(Serial.Events.Calls, Sharded.Events.Calls);
+  EXPECT_EQ(Serial.Events.Allocs, Sharded.Events.Allocs);
+  EXPECT_EQ(Serial.Events.Frees, Sharded.Events.Frees);
+  EXPECT_EQ(Serial.Events.Loads, Sharded.Events.Loads);
+  EXPECT_EQ(Serial.Events.Stores, Sharded.Events.Stores);
+  EXPECT_EQ(Serial.InstrumentationOps, Sharded.InstrumentationOps);
+  EXPECT_EQ(Serial.Frag.PeakResident, Sharded.Frag.PeakResident);
+  EXPECT_EQ(Serial.Frag.LiveAtPeak, Sharded.Frag.LiveAtPeak);
+  EXPECT_EQ(Serial.GroupedAllocs, Sharded.GroupedAllocs);
+  EXPECT_EQ(Serial.ForwardedAllocs, Sharded.ForwardedAllocs);
+}
+
+/// Everything a Runtime-level replay can differ in: timing, event stats,
+/// and the full hierarchy counter block.
+using ReplaySnapshot =
+    std::tuple<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+               uint64_t, uint64_t, uint64_t, uint64_t, uint64_t, uint64_t>;
+
+ReplaySnapshot snapshot(const Runtime &RT, const MemoryHierarchy &Memory) {
+  const RuntimeStats &S = RT.stats();
+  const MemoryCounters C = Memory.counters();
+  return ReplaySnapshot{RT.timing().totalCycles(),
+                        S.Calls,
+                        S.Allocs,
+                        S.Frees,
+                        S.Loads,
+                        S.Stores,
+                        C.Accesses,
+                        C.L1Misses,
+                        C.L2Misses,
+                        C.L3Misses,
+                        C.TlbMisses,
+                        C.StallCycles};
+}
+
+/// Serial oracle: plain Runtime::replay on a fresh runtime + hierarchy.
+ReplaySnapshot replaySerial(Program &P, const EventTrace &Trace) {
+  MemoryHierarchy Memory;
+  BoundaryTagAllocator Alloc;
+  Runtime RT(P, Alloc);
+  RT.setMemory(&Memory);
+  RT.replay(Trace);
+  return snapshot(RT, Memory);
+}
+
+/// Sharded run on an equally fresh runtime + hierarchy.
+ReplaySnapshot replaySharded(Program &P, const EventTrace &Trace, int Jobs,
+                             size_t NumShards = 0) {
+  MemoryHierarchy Memory;
+  BoundaryTagAllocator Alloc;
+  Runtime RT(P, Alloc);
+  RT.setMemory(&Memory);
+  Executor Pool(Jobs);
+  shardedReplay(RT, Trace, Pool, NumShards);
+  return snapshot(RT, Memory);
+}
+
+/// Records \p Drive under the size-class recording allocator (the same
+/// recording setup Evaluation uses).
+template <typename DriveFn>
+EventTrace record(Program &P, DriveFn &&Drive) {
+  EventTrace Trace;
+  SizeClassAllocator RecordAlloc;
+  Runtime RT(P, RecordAlloc);
+  TraceRecorder Recorder(Trace);
+  RT.addObserver(&Recorder);
+  Drive(RT);
+  return Trace;
+}
+
+class TraceShardTest : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(TraceShardTest, ShardedMeasurementMatchesSerialUnderEveryAllocator) {
+  // The full measurement path: Evaluation::measure with a shard pool must
+  // equal the serial measure for every allocator kind -- including the
+  // grouped kinds whose replay threads group state through the allocator.
+  Evaluation Eval(paperSetup(GetParam()));
+  Executor Pool(3);
+  for (AllocatorKind Kind : AllKinds) {
+    RunMetrics Serial = Eval.measure(Kind, Scale::Test, 7);
+    RunMetrics Sharded =
+        Eval.measure(Eval.setup().Machine, Kind, Scale::Test, 7, &Pool);
+    expectSameMetrics(Serial, Sharded,
+                      GetParam() + " under " +
+                          std::string(allocatorKindName(Kind)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, TraceShardTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(TraceShard, EveryShardCountMatchesSerial) {
+  // Shard-count sweep on one workload: even cuts, uneven cuts, a prime
+  // count, and far more shards than the pool has workers.
+  auto W = createWorkload("health");
+  Program P;
+  W->build(P);
+  EventTrace Trace = record(P, [&](Runtime &RT) {
+    W->run(RT, Scale::Test, 11);
+  });
+
+  ReplaySnapshot Serial = replaySerial(P, Trace);
+  for (size_t Shards : {2u, 3u, 7u, 16u, 61u})
+    EXPECT_EQ(Serial, replaySharded(P, Trace, /*Jobs=*/4, Shards))
+        << "shards=" << Shards;
+}
+
+TEST(TraceShard, BoundaryNextToReallocComposite) {
+  // A trace that is almost entirely composite realloc records (each one
+  // expands into an allocator-dependent copy loop at replay time). With
+  // one shard per record, every shard boundary lands immediately before
+  // or after a composite, and the prepass-captured copy lengths must line
+  // up with the records shard by shard.
+  Program P;
+  FunctionId Main = P.addFunction("main");
+  CallSiteId Site = P.addMallocSite(Main, "main>malloc");
+  EventTrace Trace = record(P, [&](Runtime &RT) {
+    uint64_t A = RT.malloc(40, Site);
+    uint64_t B = RT.calloc(8, 16, Site);
+    for (uint64_t Size = 16; Size <= 4096; Size *= 2) {
+      A = RT.realloc(A, Size, Site);      // Growing copy.
+      B = RT.realloc(B, 4096 / Size, Site); // Shrinking copy.
+      RT.store(A, 8);
+    }
+    RT.free(A);
+    RT.free(B);
+  });
+  ASSERT_GT(Trace.counts().Reallocs, 10u);
+
+  ReplaySnapshot Serial = replaySerial(P, Trace);
+  // More shards than records: the planner caps at one record per shard.
+  for (size_t Shards : {2u, 5u, 1000u})
+    EXPECT_EQ(Serial, replaySharded(P, Trace, /*Jobs=*/4, Shards))
+        << "shards=" << Shards;
+}
+
+TEST(TraceShard, TinyTracesDegradeToSerial) {
+  Program P;
+  FunctionId Main = P.addFunction("main");
+  CallSiteId Site = P.addMallocSite(Main, "main>malloc");
+
+  // Empty trace.
+  EventTrace Empty = record(P, [&](Runtime &) {});
+  EXPECT_EQ(replaySerial(P, Empty), replaySharded(P, Empty, /*Jobs=*/4));
+
+  // One record.
+  EventTrace One = record(P, [&](Runtime &RT) { RT.compute(5); });
+  EXPECT_EQ(replaySerial(P, One), replaySharded(P, One, /*Jobs=*/4, 64));
+
+  // A couple of records, fewer than any useful shard count.
+  EventTrace Few = record(P, [&](Runtime &RT) {
+    uint64_t A = RT.malloc(64, Site);
+    RT.store(A, 64);
+    RT.free(A);
+  });
+  EXPECT_EQ(replaySerial(P, Few), replaySharded(P, Few, /*Jobs=*/4, 64));
+}
+
+TEST(TraceShard, ObservedRuntimeFallsBackToSerialReplay) {
+  // Observers need order-strict delivery, so shardedReplay must take the
+  // serial path: same counters AND the observer sees every event.
+  auto W = createWorkload("ft");
+  Program P;
+  W->build(P);
+  EventTrace Trace = record(P, [&](Runtime &RT) {
+    W->run(RT, Scale::Test, 2);
+  });
+
+  struct CountingObserver final : RuntimeObserver {
+    uint64_t Events = 0;
+    void onCall(CallSiteId) override { ++Events; }
+    void onReturn(CallSiteId) override { ++Events; }
+    void onAlloc(uint64_t, uint64_t, CallSiteId) override { ++Events; }
+    void onFree(uint64_t) override { ++Events; }
+    void onCompute(uint64_t) override { ++Events; }
+    void onAccessBatch(const MemAccess *, size_t N) override { Events += N; }
+  };
+
+  MemoryHierarchy Memory;
+  BoundaryTagAllocator Alloc;
+  Runtime RT(P, Alloc);
+  RT.setMemory(&Memory);
+  CountingObserver Obs;
+  RT.addObserver(&Obs);
+  Executor Pool(4);
+  shardedReplay(RT, Trace, Pool);
+  EXPECT_EQ(snapshot(RT, Memory), replaySerial(P, Trace));
+  EXPECT_GT(Obs.Events, 0u);
+}
+
+TEST(TraceShard, WarmedHierarchyFallsBackToSerialReplay) {
+  // The stitch assumes a cold L1/TLB; a hierarchy that already served
+  // accesses must route through the serial path and still match a serial
+  // replay over the same warmed state.
+  auto W = createWorkload("health");
+  Program P;
+  W->build(P);
+  EventTrace Trace = record(P, [&](Runtime &RT) {
+    W->run(RT, Scale::Test, 3);
+  });
+
+  auto Warmed = [&](bool Sharded) {
+    MemoryHierarchy Memory;
+    for (uint64_t A = 0; A < 4096; A += 64)
+      Memory.access(A, 8);
+    BoundaryTagAllocator Alloc;
+    Runtime RT(P, Alloc);
+    RT.setMemory(&Memory);
+    if (Sharded) {
+      Executor Pool(4);
+      shardedReplay(RT, Trace, Pool);
+    } else {
+      RT.replay(Trace);
+    }
+    return snapshot(RT, Memory);
+  };
+  EXPECT_EQ(Warmed(false), Warmed(true));
+}
+
+TEST(TraceShard, NoHierarchyFallsBackToSerialReplay) {
+  // Without a hierarchy there is nothing to shard; stats and timing must
+  // still come out identical to RT.replay.
+  auto W = createWorkload("ft");
+  Program P;
+  W->build(P);
+  EventTrace Trace = record(P, [&](Runtime &RT) {
+    W->run(RT, Scale::Test, 2);
+  });
+
+  auto Bare = [&](bool Sharded) {
+    BoundaryTagAllocator Alloc;
+    Runtime RT(P, Alloc);
+    if (Sharded) {
+      Executor Pool(4);
+      shardedReplay(RT, Trace, Pool);
+    } else {
+      RT.replay(Trace);
+    }
+    const RuntimeStats &S = RT.stats();
+    return std::make_tuple(RT.timing().totalCycles(), S.Calls, S.Allocs,
+                           S.Frees, S.Loads, S.Stores);
+  };
+  EXPECT_EQ(Bare(false), Bare(true));
+}
+
+TEST(TraceShard, ReplayModeNamesRoundTrip) {
+  for (ReplayMode Mode :
+       {ReplayMode::Auto, ReplayMode::Serial, ReplayMode::Sharded}) {
+    ReplayMode Parsed;
+    ASSERT_TRUE(parseReplayMode(replayModeName(Mode), Parsed));
+    EXPECT_EQ(Mode, Parsed);
+  }
+  ReplayMode Parsed;
+  EXPECT_FALSE(parseReplayMode("", Parsed));
+  EXPECT_FALSE(parseReplayMode("parallel", Parsed));
+  EXPECT_FALSE(parseReplayMode("Auto", Parsed));
+}
+
+TEST(TraceShard, RunPlanModesAgree) {
+  // The plan scheduler itself: the same 1x1x1 plan (the halo_cli
+  // run/baseline/hds shape) must produce identical results under every
+  // replay mode and jobs count.
+  auto RunWith = [&](int Jobs, ReplayMode Mode) {
+    ExperimentSpec Spec;
+    Spec.Benchmarks = {"health"};
+    Spec.Kinds = {AllocatorKind::Halo};
+    Spec.S = Scale::Test;
+    Spec.Trials = 2;
+    ExperimentPlan Plan = buildPlan({Spec});
+    return runPlan(Plan, Jobs, Mode);
+  };
+  ResultSet Serial = RunWith(1, ReplayMode::Serial);
+  for (int Jobs : {1, 4})
+    for (ReplayMode Mode :
+         {ReplayMode::Auto, ReplayMode::Serial, ReplayMode::Sharded}) {
+      ResultSet Got = RunWith(Jobs, Mode);
+      ASSERT_EQ(Serial.size(), Got.size());
+      for (size_t C = 0; C < Serial.cells().size(); ++C) {
+        ASSERT_EQ(Serial.cells()[C].Runs.size(), Got.cells()[C].Runs.size());
+        for (size_t R = 0; R < Serial.cells()[C].Runs.size(); ++R)
+          expectSameMetrics(Serial.cells()[C].Runs[R],
+                            Got.cells()[C].Runs[R],
+                            "jobs=" + std::to_string(Jobs) + " mode=" +
+                                replayModeName(Mode) + " run " +
+                                std::to_string(R));
+      }
+    }
+}
