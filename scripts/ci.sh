@@ -17,14 +17,21 @@ SAN_BUILD="${2:-$ROOT/build-asan}"
 JOBS="${CTEST_PARALLEL:-$(nproc)}"
 
 # Cold run, warm run, byte-compare, verify -- with a store directory that
-# lives only for this invocation, so runs never poison each other.
+# lives only for this invocation, so runs never poison each other. The
+# same trace then round-trips through --trace-mode mapped (cold: record
+# streamed to disk; warm: replayed mmap'd off the store entry), and both
+# runs must emit JSON byte-identical to the in-RAM --trace-mode memory
+# oracle -- the "mapped = in-RAM" contract, end to end through the CLI.
 store_smoke() {
   local build="$1"
-  local store out_cold out_warm
+  local store out_cold out_warm out_mem out_map_cold out_map_warm
   store="$(mktemp -d)"
   out_cold="$(mktemp)"
   out_warm="$(mktemp)"
-  trap 'rm -rf "$store" "$out_cold" "$out_warm"' RETURN
+  out_mem="$(mktemp)"
+  out_map_cold="$(mktemp)"
+  out_map_warm="$(mktemp)"
+  trap 'rm -rf "$store" "$out_cold" "$out_warm" "$out_mem" "$out_map_cold" "$out_map_warm"' RETURN
   "$build/examples/halo_cli" run health --trials 2 \
       --store-dir "$store" --out "$out_cold"
   "$build/examples/halo_cli" run health --trials 2 \
@@ -32,6 +39,19 @@ store_smoke() {
   cmp "$out_cold" "$out_warm"
   "$build/examples/halo_cli" store verify --store-dir "$store"
   "$build/examples/halo_cli" store gc --store-dir "$store"
+
+  local map_store
+  map_store="$(mktemp -d)"
+  trap 'rm -rf "$store" "$out_cold" "$out_warm" "$out_mem" "$out_map_cold" "$out_map_warm" "$map_store"' RETURN
+  "$build/examples/halo_cli" run health --trials 2 \
+      --trace-mode mapped --store-dir "$map_store" --out "$out_map_cold"
+  "$build/examples/halo_cli" run health --trials 2 \
+      --trace-mode mapped --store-dir "$map_store" --out "$out_map_warm"
+  "$build/examples/halo_cli" run health --trials 2 \
+      --trace-mode memory --store-dir "$map_store" --out "$out_mem"
+  cmp "$out_mem" "$out_map_cold"
+  cmp "$out_mem" "$out_map_warm"
+  "$build/examples/halo_cli" store verify --store-dir "$map_store"
 }
 
 echo "== tier-1: Release build + ctest ($BUILD) =="

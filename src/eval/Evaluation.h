@@ -23,6 +23,7 @@
 #include "hds/HdsPipeline.h"
 #include "sim/Machine.h"
 #include "trace/EventTrace.h"
+#include "trace/TraceFile.h"
 #include "workloads/Workload.h"
 
 #include <functional>
@@ -118,6 +119,41 @@ public:
   /// returns the cached instance. Thread-safe.
   const EventTrace &addTrace(Scale S, uint64_t Seed, EventTrace Trace);
 
+  /// How this evaluation holds and replays measurement traces. Memory (the
+  /// default) keeps every recording in RAM -- the oracle path. Mapped
+  /// records each measurement trace streaming to a temp file and replays
+  /// it mmap'd block by block, keeping resident memory bounded however
+  /// large the run; metrics are bit-identical ("mapped = in-RAM",
+  /// tests/trace_file_test.cpp). Auto replays mapped exactly for keys with
+  /// a mapped trace cached (the store's warm path seeds those for large
+  /// entries) and in RAM otherwise. Profiling always uses the in-RAM
+  /// trace: profile inputs are test-scale and the pipelines replay them
+  /// through observers.
+  void setTraceMode(TraceMode M) { Mode = M; }
+  TraceMode traceMode() const { return Mode; }
+
+  /// Records (once) the workload run for (\p S, \p Seed) streaming to a
+  /// private temp file and returns it mapped. The file is unlinked as soon
+  /// as it is mapped, so nothing leaks even on a crash. Thread-safe, same
+  /// contract as trace(). Throws std::runtime_error on I/O failure.
+  const MappedTrace &mappedTrace(Scale S, uint64_t Seed);
+
+  /// True if a mapped trace for (\p S, \p Seed) is cached. Thread-safe.
+  bool hasMappedTrace(Scale S, uint64_t Seed);
+
+  /// Seeds the mapped-trace cache (the store's warm path: an entry opened
+  /// with openMappedTrace replays bit-identically to a fresh recording).
+  /// First writer wins; returns the cached instance. Thread-safe.
+  const MappedTrace &addMappedTrace(Scale S, uint64_t Seed,
+                                    MappedTrace Trace);
+
+  /// Records the workload run for (\p S, \p Seed) streaming into the trace
+  /// file at \p Path (the on-disk format of trace/TraceFile.h), never
+  /// holding more than a block in memory. The store's cold mapped path
+  /// records through this and publishes the file with putTraceFile.
+  /// Throws std::runtime_error on I/O failure (removing the partial file).
+  void recordTraceFile(Scale S, uint64_t Seed, const std::string &Path);
+
   /// Whether the pipeline artifacts are already materialised (loaded or
   /// profiled). Not synchronised: call only when no task may be
   /// materialising them concurrently (plan stages guarantee this).
@@ -206,14 +242,23 @@ private:
   /// Materialises the artifacts \p Kind's measurement consults, so worker
   /// threads only ever read them.
   void prepareArtifacts(AllocatorKind Kind);
+  /// Whether measure() replays (\p S, \p Seed) through the mapped path
+  /// under the current trace mode.
+  bool usesMappedReplay(Scale S, uint64_t Seed);
+  /// Caches and returns the recording for (\p S, \p Seed) in whichever
+  /// form the current mode measures it (measureTrials' warm-up stage).
+  void obtainTrace(Scale S, uint64_t Seed);
 
   BenchmarkSetup Setup;
   std::unique_ptr<Workload> W;
   Program Prog;
   std::optional<HaloArtifacts> HaloArt;
   std::optional<HdsArtifacts> HdsArt;
+  TraceMode Mode = TraceMode::Memory;
   /// (scale, seed) -> recorded trace. std::map for reference stability.
   std::map<std::pair<int, uint64_t>, EventTrace> Traces;
+  /// (scale, seed) -> mapped on-disk trace, same keying and stability.
+  std::map<std::pair<int, uint64_t>, MappedTrace> MappedTraces;
   std::mutex TraceMutex;
 };
 

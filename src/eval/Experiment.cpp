@@ -5,6 +5,7 @@
 #include "store/ArtifactStore.h"
 #include "support/Executor.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -13,7 +14,14 @@
 #include <stdexcept>
 #include <tuple>
 
+#include <unistd.h>
+
 using namespace halo;
+
+/// TraceMode::Auto's threshold: a stored trace whose decoded size reaches
+/// this opens mapped off its store entry instead of loading whole -- the
+/// point where the in-RAM copy would dominate the run's footprint.
+static constexpr uint64_t AutoMappedTraceBytes = 256ull << 20;
 
 //===----------------------------------------------------------------------===//
 // Names
@@ -241,7 +249,14 @@ ExperimentPlan halo::buildPlan(const std::vector<ExperimentSpec> &Specs,
 // runPlan
 //===----------------------------------------------------------------------===//
 
-ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode) {
+ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode,
+                        TraceMode Traces) {
+  // Every benchmark's Evaluation measures under the plan's trace mode
+  // (Auto resolves per key: mapped exactly where a mapped trace was
+  // seeded below).
+  for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks)
+    B.Eval->setTraceMode(Traces);
+
   ResultSet Results;
   Results.Cells.resize(Plan.Cells.size());
   for (size_t C = 0; C < Plan.Cells.size(); ++C) {
@@ -270,19 +285,69 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode) {
   // inline -- re-record, re-publish -- so the run self-heals instead of
   // failing. Either way the cached trace is byte-identical to a fresh
   // recording, keeping warm results bit-identical to cold ones.
+  //
+  // Profile recordings (\p Profile) always take the in-RAM path: the
+  // pipelines replay them through observers, and profile inputs are
+  // test-scale. Measurement recordings follow the plan's trace mode.
   auto ObtainTrace = [&](const ExperimentPlan::Benchmark &B, Scale S,
-                         uint64_t Seed, bool Stored) {
+                         uint64_t Seed, bool Stored, bool Profile) {
     Evaluation &E = *B.Eval;
-    if (Store && Stored && !E.hasTrace(S, Seed)) {
-      if (std::optional<EventTrace> Loaded =
-              getTrace(*Store, traceStoreKey(B.Name, S, Seed))) {
+    TraceMode M = Profile ? TraceMode::Memory : Traces;
+    StoreKey Key;
+    if (Store)
+      Key = traceStoreKey(B.Name, S, Seed);
+
+    if (M == TraceMode::Mapped) {
+      if (E.hasMappedTrace(S, Seed))
+        return;
+      if (Store && Stored) {
+        if (std::optional<MappedTrace> Mapped = openMappedTrace(*Store, Key)) {
+          E.addMappedTrace(S, Seed, std::move(*Mapped));
+          return;
+        }
+      }
+      if (Store) {
+        // Cold with a store: record streaming into the store directory,
+        // publish atomically, then map the published entry zero-copy --
+        // the trace's bytes exist on disk exactly once. The "tmp." name
+        // keeps a crashed recorder's leftovers visible to `store gc`.
+        std::string Temp = Store->dir() + "/tmp.rec." + hashHex(Key.Hash) +
+                           "." + std::to_string(::getpid());
+        E.recordTraceFile(S, Seed, Temp);
+        bool Published = putTraceFile(*Store, Key, Temp);
+        ::unlink(Temp.c_str());
+        if (Published) {
+          if (std::optional<MappedTrace> Mapped =
+                  openMappedTrace(*Store, Key)) {
+            E.addMappedTrace(S, Seed, std::move(*Mapped));
+            return;
+          }
+        }
+      }
+      // No store (or the publish failed): the Evaluation's self-contained
+      // temp-file recording.
+      E.mappedTrace(S, Seed);
+      return;
+    }
+
+    if (Store && Stored && !E.hasTrace(S, Seed) && !E.hasMappedTrace(S, Seed)) {
+      if (M == TraceMode::Auto) {
+        // A stored trace big enough that loading it whole would dominate
+        // the run's footprint opens mapped off its entry instead.
+        if (std::optional<MappedTrace> Mapped = openMappedTrace(*Store, Key))
+          if (Mapped->rawBytes() >= AutoMappedTraceBytes) {
+            E.addMappedTrace(S, Seed, std::move(*Mapped));
+            return;
+          }
+      }
+      if (std::optional<EventTrace> Loaded = getTrace(*Store, Key)) {
         E.addTrace(S, Seed, std::move(*Loaded));
         return;
       }
     }
     const EventTrace &Trace = E.trace(S, Seed);
     if (Store)
-      putTrace(*Store, traceStoreKey(B.Name, S, Seed), Trace);
+      putTrace(*Store, Key, Trace);
   };
 
   // Stage 1: profile recordings (the input both pipelines profile). A
@@ -298,7 +363,8 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode) {
   Pool.parallelFor(Profiles.size(), [&](size_t I) {
     const ExperimentPlan::Benchmark &B = *Profiles[I].B;
     const BenchmarkSetup &Setup = B.Eval->setup();
-    ObtainTrace(B, Setup.ProfileScale, Setup.ProfileSeed, B.ProfileStored);
+    ObtainTrace(B, Setup.ProfileScale, Setup.ProfileSeed, B.ProfileStored,
+                /*Profile=*/true);
   });
 
   // Stage 2: pipeline artifacts, two independent tasks per benchmark --
@@ -385,7 +451,7 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode) {
   }
   Pool.parallelFor(Recordings.size(), [&](size_t I) {
     const RecordTask &Task = Recordings[I];
-    ObtainTrace(*Task.B, Task.S, Task.Seed, Task.Stored);
+    ObtainTrace(*Task.B, Task.S, Task.Seed, Task.Stored, /*Profile=*/false);
   });
 
   // Stage 4: replays, one task per (cell, trial). Every trace and

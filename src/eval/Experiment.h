@@ -126,7 +126,7 @@ public:
 
 private:
   friend ResultSet runPlan(class ExperimentPlan &Plan, int Jobs,
-                           ReplayMode Mode);
+                           ReplayMode Mode, TraceMode Traces);
   std::vector<Cell> Cells;
 };
 
@@ -193,7 +193,8 @@ private:
   friend ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
                                   const std::vector<Evaluation *> &External,
                                   ArtifactStore *Store);
-  friend ResultSet runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode);
+  friend ResultSet runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode,
+                           TraceMode Traces);
   std::vector<Benchmark> Benchmarks;
   std::vector<Cell> Cells;
   std::vector<std::unique_ptr<Evaluation>> Owned;
@@ -233,8 +234,19 @@ ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
 /// 1x1x1 plans behind halo_cli run/baseline/hds being the motivating
 /// case: task-level fan-out gives them nothing, intra-trace sharding
 /// scales them with --jobs.
+///
+/// \p Traces decides how measurement recordings are held (profiling
+/// always replays the in-RAM trace). Memory is the historical in-RAM
+/// path. Mapped records cold traces streaming to disk (into the store
+/// when one is attached, so the bytes exist exactly once) and replays
+/// every measurement mmap'd block by block in bounded memory. Auto stays
+/// in RAM except for stored traces whose decoded size is large enough
+/// that loading them whole would dominate the run's footprint -- those
+/// open mapped straight off their store entry, zero-copy. Results are
+/// bit-identical under every mode ("mapped = in-RAM", README).
 ResultSet runPlan(ExperimentPlan &Plan, int Jobs = 0,
-                  ReplayMode Mode = ReplayMode::Auto);
+                  ReplayMode Mode = ReplayMode::Auto,
+                  TraceMode Traces = TraceMode::Auto);
 
 //===----------------------------------------------------------------------===//
 // Shared emitters: the one JSON / table output path.

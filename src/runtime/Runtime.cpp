@@ -3,6 +3,7 @@
 #include "runtime/Runtime.h"
 
 #include "trace/EventTrace.h"
+#include "trace/TraceFile.h"
 
 #include <algorithm>
 #include <cassert>
@@ -173,13 +174,30 @@ void Runtime::replayAccessRun(const MemAccess *Batch, size_t N,
     Obs->onAccessBatch(Batch, N);
 }
 
-void Runtime::replay(const EventTrace &Trace) {
-  // Replay-time object table: the Nth minted object's address under *this*
-  // runtime's allocator. Frees leave entries stale, exactly like a freed
-  // pointer; the recorder never emits accesses through them.
-  std::vector<uint64_t> ObjAddr;
-  ObjAddr.reserve(Trace.numObjects());
+/// Replay state shared across decoded ranges (see Runtime.h). A mapped
+/// replay feeds many ranges -- one per block -- through one state, so the
+/// pending batch rides across block boundaries untouched and the counters
+/// come out bit-identical to the single-range in-RAM replay.
+struct Runtime::ReplayState {
+  static constexpr size_t BatchCap = 512;
 
+  explicit ReplayState(uint32_t NumObjects, bool Strict) : Strict(Strict) {
+    // Replay-time object table: the Nth minted object's address under
+    // *this* runtime's allocator. Frees leave entries stale, exactly like
+    // a freed pointer; the recorder never emits accesses through them.
+    ObjAddr.reserve(NumObjects);
+    Batch.resize(BatchCap);
+  }
+
+  std::vector<uint64_t> ObjAddr;
+  std::vector<MemAccess> Batch;
+  size_t Run = 0;
+  uint64_t RunStores = 0;
+  const bool Strict;
+};
+
+void Runtime::replayRange(ReplayState &St, const uint8_t *Begin,
+                          const uint8_t *End) {
   // Batch loop: decoding resolves every data access (the dominant event
   // shape) straight into a flat MemAccess batch -- ids become final
   // addresses at decode time -- and each batch is consumed whole by the
@@ -200,11 +218,12 @@ void Runtime::replay(const EventTrace &Trace) {
   // and so must see the batch drained first. Either way every counter is
   // bit-identical to per-event replay: batching only regroups commutative
   // additions around events it never reorders against their dependencies.
-  constexpr size_t BatchCap = 512;
-  std::vector<MemAccess> Batch(BatchCap);
-  size_t Run = 0;
-  uint64_t RunStores = 0;
-  const bool Strict = !Observers.empty();
+  constexpr size_t BatchCap = ReplayState::BatchCap;
+  std::vector<uint64_t> &ObjAddr = St.ObjAddr;
+  std::vector<MemAccess> &Batch = St.Batch;
+  size_t Run = St.Run;
+  uint64_t RunStores = St.RunStores;
+  const bool Strict = St.Strict;
 
   auto Flush = [&] {
     if (Run) {
@@ -214,7 +233,7 @@ void Runtime::replay(const EventTrace &Trace) {
     }
   };
 
-  EventTrace::Reader R = Trace.reader();
+  EventTrace::Reader R(Begin, End);
   while (!R.atEnd()) {
     switch (R.op()) {
     case TraceOp::Call: {
@@ -320,5 +339,31 @@ void Runtime::replay(const EventTrace &Trace) {
     }
     }
   }
-  Flush();
+  St.Run = Run;
+  St.RunStores = RunStores;
+}
+
+void Runtime::replay(const EventTrace &Trace) {
+  assert(!Trace.streaming() && "a streaming trace has left RAM; replay it "
+                               "through its MappedTrace");
+  ReplayState St(Trace.numObjects(), !Observers.empty());
+  replayRange(St, Trace.data(), Trace.data() + Trace.byteSize());
+  if (St.Run)
+    replayAccessRun(St.Batch.data(), St.Run, St.RunStores);
+}
+
+void Runtime::replay(const MappedTrace &Trace) {
+  ReplayState St(Trace.numObjects(), !Observers.empty());
+  // One decoded block resident at a time; the pending batch carries
+  // across block boundaries (blocks are whole records, and batch growth
+  // only regroups commutative additions), so the counters match the
+  // in-RAM replay bit for bit.
+  std::vector<uint8_t> Scratch;
+  for (size_t B = 0, N = Trace.numBlocks(); B < N; ++B) {
+    Trace.decodeBlock(B, Scratch);
+    replayRange(St, Scratch.data(), Scratch.data() + Scratch.size());
+    Trace.releaseBlock(B);
+  }
+  if (St.Run)
+    replayAccessRun(St.Batch.data(), St.Run, St.RunStores);
 }

@@ -5,6 +5,7 @@
 #include "runtime/Runtime.h"
 #include "support/Executor.h"
 #include "trace/EventTrace.h"
+#include "trace/TraceFile.h"
 
 #include <algorithm>
 #include <cassert>
@@ -73,30 +74,6 @@ struct ShardDesc {
   uint64_t FirstRealloc = 0;
 };
 
-/// Operand count of each record kind; operands are varints, so a record
-/// can be skipped without decoding any values.
-size_t operandCount(TraceOp Op) {
-  switch (Op) {
-  case TraceOp::Call:
-  case TraceOp::Free:
-  case TraceOp::Compute:
-    return 1;
-  case TraceOp::Return:
-    return 0;
-  case TraceOp::Alloc:
-  case TraceOp::LoadBase:
-  case TraceOp::StoreBase:
-  case TraceOp::LoadRaw:
-  case TraceOp::StoreRaw:
-    return 2;
-  case TraceOp::Load:
-  case TraceOp::Store:
-  case TraceOp::Realloc:
-    return 3;
-  }
-  return 0;
-}
-
 /// Cuts the trace into up to \p Shards record-aligned byte ranges of
 /// roughly equal size. Traces with fewer records than shards simply yield
 /// fewer shards (never an empty range). One linear tag-and-skip scan; no
@@ -124,7 +101,7 @@ std::vector<ShardDesc> planShards(const EventTrace &Trace, size_t Shards) {
       ++Minted;
     if (Op == TraceOp::Realloc)
       ++Reallocs;
-    for (size_t N = operandCount(Op); N; --N) {
+    for (size_t N = traceOperandCount(Op); N; --N) {
       while (Data[Pos] & 0x80)
         ++Pos;
       ++Pos;
@@ -304,20 +281,173 @@ uint32_t log2Exact(uint32_t PowerOfTwo) {
   return Shift;
 }
 
+/// The geometry the shard phase and stitch share, pulled once from the
+/// attached hierarchy.
+struct ShardGeometry {
+  uint64_t LineSize, LineMask;
+  uint32_t L1Sets, L1Ways, L1Shift;
+  uint32_t TlbSets, TlbWays, TlbShift;
+
+  explicit ShardGeometry(MemoryHierarchy &Mem) {
+    const HierarchyConfig &HC = Mem.config();
+    const CacheConfig &TlbGeom = Mem.tlb().config();
+    LineSize = HC.L1.LineSize;
+    LineMask = LineSize - 1;
+    L1Sets = Mem.l1().numSets();
+    L1Ways = HC.L1.Ways;
+    L1Shift = log2Exact(HC.L1.LineSize);
+    TlbSets = Mem.tlb().numSets();
+    TlbWays = TlbGeom.Ways;
+    TlbShift = log2Exact(TlbGeom.LineSize);
+  }
+};
+
+/// One shard task's decode loop over a record-aligned range: resolves
+/// accesses through the captured address table and simulates the L1 and
+/// TLB on the shard's private state. \p Mint and \p ReallocOrd carry the
+/// decode state across calls -- a mapped shard feeds its blocks through
+/// one after another. Line expansion mirrors MemoryHierarchy::access;
+/// realloc copy traffic mirrors Runtime::realloc's 64-byte strides.
+void simulateShardRange(EventTrace::Reader Rd, uint32_t &Mint,
+                        uint64_t &ReallocOrd,
+                        const std::vector<uint64_t> &ObjAddr,
+                        const std::vector<uint64_t> &CopyBytes,
+                        const ShardGeometry &G, ShardResult &R) {
+  auto AccessLine = [&](uint64_t LineAddr) {
+    ShardLevelSim::Outcome T = R.Dtlb.access(LineAddr);
+    if (T.IsResidual)
+      R.TlbResiduals.push_back(Residual{T.Set, T.Rank, T.Tag, 0});
+    ShardLevelSim::Outcome L = R.L1.access(LineAddr);
+    if (!L.Hit) {
+      if (L.IsResidual)
+        R.L1Residuals.push_back(
+            Residual{L.Set, L.Rank, L.Tag, R.MissLines.size()});
+      R.MissLines.push_back(LineAddr);
+    }
+  };
+  auto AccessSpan = [&](uint64_t Addr, uint64_t Size) {
+    uint64_t First = Addr & ~G.LineMask;
+    uint64_t Last = (Addr + (Size ? Size : 1) - 1) & ~G.LineMask;
+    for (uint64_t Line = First;; Line += G.LineSize) {
+      AccessLine(Line);
+      if (Line == Last)
+        break;
+    }
+  };
+
+  while (!Rd.atEnd()) {
+    switch (Rd.op()) {
+    case TraceOp::Call:
+    case TraceOp::Free:
+    case TraceOp::Compute:
+      Rd.varint();
+      break;
+    case TraceOp::Return:
+      break;
+    case TraceOp::Alloc:
+      Rd.varint();
+      Rd.varint();
+      ++Mint;
+      break;
+    case TraceOp::Load:
+    case TraceOp::Store: {
+      uint64_t Id = Rd.varint();
+      uint64_t Offset = Rd.varint();
+      AccessSpan(ObjAddr[Id] + Offset, Rd.varint());
+      break;
+    }
+    case TraceOp::LoadBase:
+    case TraceOp::StoreBase: {
+      uint64_t Id = Rd.varint();
+      AccessSpan(ObjAddr[Id], Rd.varint());
+      break;
+    }
+    case TraceOp::LoadRaw:
+    case TraceOp::StoreRaw: {
+      uint64_t Addr = Rd.varint();
+      AccessSpan(Addr, Rd.varint());
+      break;
+    }
+    case TraceOp::Realloc: {
+      uint64_t Old = Rd.varint();
+      Rd.varint(); // Site: allocation itself happened in the prepass.
+      Rd.varint(); // New size: the captured copy length already caps it.
+      uint64_t OldAddr = ObjAddr[Old];
+      uint64_t NewAddr = ObjAddr[Mint++];
+      uint64_t Copy = CopyBytes[ReallocOrd++];
+      for (uint64_t Off = 0; Off < Copy; Off += 64) {
+        uint64_t Span = std::min<uint64_t>(64, Copy - Off);
+        AccessSpan(OldAddr + Off, Span);
+        AccessSpan(NewAddr + Off, Span);
+      }
+      break;
+    }
+    }
+  }
+}
+
+/// The serial stitch in trace order (step 3 of the decomposition): judge
+/// residuals against the carried recency state, drive the surviving L1
+/// misses through the real L2/L3 (their content and counters then evolve
+/// exactly as under a serial replay), merge each shard's recency exports,
+/// and credit the totals to the hierarchy and the timing model.
+void stitchShards(Runtime &RT, MemoryHierarchy *Mem,
+                  std::vector<ShardResult> &Results, const ShardGeometry &G) {
+  std::vector<std::vector<uint64_t>> L1State(G.L1Sets), TlbState(G.TlbSets);
+  uint64_t L1Hits = 0, L1Misses = 0, TlbHits = 0, TlbMisses = 0;
+  uint64_t BeyondCycles = 0;
+  for (ShardResult &R : Results) {
+    std::vector<char> Dead(R.MissLines.size(), 0);
+    uint64_t L1Flips =
+        judgeResiduals(R.L1Residuals, L1State, G.L1Ways, &Dead);
+    uint64_t TlbFlips =
+        judgeResiduals(R.TlbResiduals, TlbState, G.TlbWays, nullptr);
+    L1Hits += R.L1.hits() + L1Flips;
+    L1Misses += R.L1.misses() - L1Flips;
+    TlbHits += R.Dtlb.hits() + TlbFlips;
+    TlbMisses += R.Dtlb.misses() - TlbFlips;
+    for (size_t I = 0; I < R.MissLines.size(); ++I)
+      if (!Dead[I])
+        BeyondCycles += Mem->accessBeyondL1(R.MissLines[I]);
+    mergeState(L1State, R.L1, G.L1Ways);
+    mergeState(TlbState, R.Dtlb, G.TlbWays);
+  }
+
+  assert(L1Hits + L1Misses == TlbHits + TlbMisses &&
+         "every line costs one TLB and one L1 lookup");
+
+  // Serial cost decomposition, regrouped: each line pays its TLB-miss
+  // penalty plus exactly one of the level latencies, so the stall total
+  // (and the one timing credit replay would have accumulated) is a sum of
+  // the final counts.
+  const LatencyModel &Lat = Mem->config().Latency;
+  uint64_t Total = uint64_t(Lat.L1Hit) * L1Hits +
+                   uint64_t(Lat.TlbMiss) * TlbMisses + BeyondCycles;
+  Mem->creditL1(L1Hits, L1Misses);
+  Mem->creditTlb(TlbHits, TlbMisses);
+  Mem->addStallCycles(Total);
+  RT.timing().addMemory(Total);
+}
+
+/// True when the sharded decomposition's prerequisites hold (see the
+/// header comment); otherwise the caller must replay serially.
+bool canShard(Runtime &RT, size_t Shards, bool Empty) {
+  MemoryHierarchy *Mem = RT.memory();
+  // The stitch's incoming state starts cold, so a hierarchy that has
+  // already served accesses (and may hold content) must take the serial
+  // path; measurements always attach a fresh one.
+  bool ColdHierarchy = Mem && Mem->l1().accesses() == 0 &&
+                       Mem->tlb().hits() + Mem->tlb().misses() == 0;
+  return Mem && ColdHierarchy && !RT.hasObservers() && Shards > 1 && !Empty;
+}
+
 } // namespace
 
 void halo::shardedReplay(Runtime &RT, const EventTrace &Trace, Executor &Pool,
                          size_t NumShards) {
   MemoryHierarchy *Mem = RT.memory();
   size_t Shards = NumShards ? NumShards : Pool.workers();
-  // The stitch's incoming state starts cold, so a hierarchy that has
-  // already served accesses (and may hold content) must take the serial
-  // path; measurements always attach a fresh one.
-  bool ColdHierarchy =
-      Mem && Mem->l1().accesses() == 0 &&
-      Mem->tlb().hits() + Mem->tlb().misses() == 0;
-  if (!Mem || !ColdHierarchy || RT.hasObservers() || Shards <= 1 ||
-      Trace.empty()) {
+  if (!canShard(RT, Shards, Trace.empty())) {
     RT.replay(Trace);
     return;
   }
@@ -341,145 +471,98 @@ void halo::shardedReplay(Runtime &RT, const EventTrace &Trace, Executor &Pool,
   RT.removeObserver(&Capture);
   RT.setMemory(Mem);
 
-  const HierarchyConfig &HC = Mem->config();
-  const CacheConfig &TlbGeom = Mem->tlb().config();
-  const uint64_t LineSize = HC.L1.LineSize;
-  const uint64_t LineMask = LineSize - 1;
-  const uint32_t L1Sets = Mem->l1().numSets();
-  const uint32_t L1Ways = HC.L1.Ways;
-  const uint32_t L1Shift = log2Exact(HC.L1.LineSize);
-  const uint32_t TlbSets = Mem->tlb().numSets();
-  const uint32_t TlbWays = TlbGeom.Ways;
-  const uint32_t TlbShift = log2Exact(TlbGeom.LineSize);
-
+  ShardGeometry G(*Mem);
   std::vector<ShardResult> Results;
   Results.reserve(Plan.size());
   for (size_t S = 0; S < Plan.size(); ++S)
-    Results.emplace_back(L1Sets, L1Ways, L1Shift, TlbSets, TlbWays, TlbShift);
+    Results.emplace_back(G.L1Sets, G.L1Ways, G.L1Shift, G.TlbSets, G.TlbWays,
+                         G.TlbShift);
 
-  const std::vector<uint64_t> &ObjAddr = Capture.ObjAddr;
-  const std::vector<uint64_t> &CopyBytes = Capture.CopyBytes;
-
-  // Shard phase: each task decodes its byte range, resolves accesses
-  // through the captured address table, and simulates the L1 and TLB on
-  // its private state. Line expansion mirrors MemoryHierarchy::access;
-  // realloc copy traffic mirrors Runtime::realloc's 64-byte strides.
+  // Shard phase: each task decodes its byte range on private state.
   Pool.parallelFor(Plan.size(), [&](size_t S) {
     const ShardDesc &D = Plan[S];
-    ShardResult &R = Results[S];
     uint32_t Mint = D.FirstObject;
     uint64_t ReallocOrd = D.FirstRealloc;
+    simulateShardRange(Trace.reader(D.Begin, D.End), Mint, ReallocOrd,
+                       Capture.ObjAddr, Capture.CopyBytes, G, Results[S]);
+  });
 
-    auto AccessLine = [&](uint64_t LineAddr) {
-      ShardLevelSim::Outcome T = R.Dtlb.access(LineAddr);
-      if (T.IsResidual)
-        R.TlbResiduals.push_back(Residual{T.Set, T.Rank, T.Tag, 0});
-      ShardLevelSim::Outcome L = R.L1.access(LineAddr);
-      if (!L.Hit) {
-        if (L.IsResidual)
-          R.L1Residuals.push_back(
-              Residual{L.Set, L.Rank, L.Tag, R.MissLines.size()});
-        R.MissLines.push_back(LineAddr);
-      }
-    };
-    auto AccessSpan = [&](uint64_t Addr, uint64_t Size) {
-      uint64_t First = Addr & ~LineMask;
-      uint64_t Last = (Addr + (Size ? Size : 1) - 1) & ~LineMask;
-      for (uint64_t Line = First;; Line += LineSize) {
-        AccessLine(Line);
-        if (Line == Last)
-          break;
-      }
-    };
+  stitchShards(RT, Mem, Results, G);
+}
 
-    EventTrace::Reader Rd = Trace.reader(D.Begin, D.End);
-    while (!Rd.atEnd()) {
-      switch (Rd.op()) {
-      case TraceOp::Call:
-      case TraceOp::Free:
-      case TraceOp::Compute:
-        Rd.varint();
-        break;
-      case TraceOp::Return:
-        break;
-      case TraceOp::Alloc:
-        Rd.varint();
-        Rd.varint();
-        ++Mint;
-        break;
-      case TraceOp::Load:
-      case TraceOp::Store: {
-        uint64_t Id = Rd.varint();
-        uint64_t Offset = Rd.varint();
-        AccessSpan(ObjAddr[Id] + Offset, Rd.varint());
-        break;
-      }
-      case TraceOp::LoadBase:
-      case TraceOp::StoreBase: {
-        uint64_t Id = Rd.varint();
-        AccessSpan(ObjAddr[Id], Rd.varint());
-        break;
-      }
-      case TraceOp::LoadRaw:
-      case TraceOp::StoreRaw: {
-        uint64_t Addr = Rd.varint();
-        AccessSpan(Addr, Rd.varint());
-        break;
-      }
-      case TraceOp::Realloc: {
-        uint64_t Old = Rd.varint();
-        Rd.varint(); // Site: allocation itself happened in the prepass.
-        Rd.varint(); // New size: the captured copy length already caps it.
-        uint64_t OldAddr = ObjAddr[Old];
-        uint64_t NewAddr = ObjAddr[Mint++];
-        uint64_t Copy = CopyBytes[ReallocOrd++];
-        for (uint64_t Off = 0; Off < Copy; Off += 64) {
-          uint64_t Span = std::min<uint64_t>(64, Copy - Off);
-          AccessSpan(OldAddr + Off, Span);
-          AccessSpan(NewAddr + Off, Span);
-        }
-        break;
-      }
-      }
+void halo::shardedReplay(Runtime &RT, const MappedTrace &Trace,
+                         Executor &Pool, size_t NumShards) {
+  MemoryHierarchy *Mem = RT.memory();
+  size_t Shards = NumShards ? NumShards : Pool.workers();
+  // Serial fallbacks stream block by block too (Runtime's mapped replay).
+  if (!canShard(RT, Shards, Trace.empty()) || Trace.numBlocks() < 2) {
+    RT.replay(Trace);
+    return;
+  }
+
+  // Shards are runs of whole blocks balanced by decoded size; the block
+  // index already carries each block's starting object id and realloc
+  // ordinal, so no scan over earlier blocks is needed (the whole point
+  // of cutting at block boundaries).
+  struct BlockRange {
+    size_t Begin, End;
+  };
+  std::vector<BlockRange> Plan;
+  const size_t NumBlocks = Trace.numBlocks();
+  const uint64_t TotalRaw = Trace.rawBytes();
+  size_t RangeBegin = 0, CutIdx = 1;
+  uint64_t Pos = 0;
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    Pos += Trace.block(B).RawBytes;
+    if (B + 1 < NumBlocks && CutIdx < Shards &&
+        Pos >= TotalRaw * CutIdx / Shards) {
+      Plan.push_back(BlockRange{RangeBegin, B + 1});
+      RangeBegin = B + 1;
+      while (CutIdx < Shards && TotalRaw * CutIdx / Shards <= Pos)
+        ++CutIdx;
+    }
+  }
+  Plan.push_back(BlockRange{RangeBegin, NumBlocks});
+  if (Plan.size() <= 1) {
+    RT.replay(Trace);
+    return;
+  }
+
+  // Serial prepass, streaming: same decomposition as the in-RAM driver,
+  // with the hierarchy detached and block-bounded residency.
+  PrepassCapture Capture(RT.allocator());
+  Capture.ObjAddr.reserve(Trace.numObjects());
+  RT.setMemory(nullptr);
+  RT.addObserver(&Capture);
+  RT.replay(Trace);
+  RT.removeObserver(&Capture);
+  RT.setMemory(Mem);
+
+  ShardGeometry G(*Mem);
+  std::vector<ShardResult> Results;
+  Results.reserve(Plan.size());
+  for (size_t S = 0; S < Plan.size(); ++S)
+    Results.emplace_back(G.L1Sets, G.L1Ways, G.L1Shift, G.TlbSets, G.TlbWays,
+                         G.TlbShift);
+
+  // Shard phase: each task decompresses only its own blocks, one at a
+  // time, into a private scratch -- per-worker memory stays bounded by a
+  // block regardless of trace size.
+  Pool.parallelFor(Plan.size(), [&](size_t S) {
+    const BlockRange &D = Plan[S];
+    const TraceBlockInfo &First = Trace.block(D.Begin);
+    uint32_t Mint = static_cast<uint32_t>(First.FirstObject);
+    uint64_t ReallocOrd = First.FirstRealloc;
+    std::vector<uint8_t> Scratch;
+    for (size_t B = D.Begin; B < D.End; ++B) {
+      Trace.decodeBlock(B, Scratch);
+      simulateShardRange(
+          EventTrace::Reader(Scratch.data(), Scratch.data() + Scratch.size()),
+          Mint, ReallocOrd, Capture.ObjAddr, Capture.CopyBytes, G,
+          Results[S]);
+      Trace.releaseBlock(B);
     }
   });
 
-  // Serial stitch in trace order: judge residuals against the carried
-  // recency state, drive the surviving L1 misses through the real L2/L3
-  // (their content and counters then evolve exactly as under a serial
-  // replay), merge each shard's recency exports, and credit the totals.
-  std::vector<std::vector<uint64_t>> L1State(L1Sets), TlbState(TlbSets);
-  uint64_t L1Hits = 0, L1Misses = 0, TlbHits = 0, TlbMisses = 0;
-  uint64_t BeyondCycles = 0;
-  for (size_t S = 0; S < Plan.size(); ++S) {
-    ShardResult &R = Results[S];
-    std::vector<char> Dead(R.MissLines.size(), 0);
-    uint64_t L1Flips = judgeResiduals(R.L1Residuals, L1State, L1Ways, &Dead);
-    uint64_t TlbFlips =
-        judgeResiduals(R.TlbResiduals, TlbState, TlbWays, nullptr);
-    L1Hits += R.L1.hits() + L1Flips;
-    L1Misses += R.L1.misses() - L1Flips;
-    TlbHits += R.Dtlb.hits() + TlbFlips;
-    TlbMisses += R.Dtlb.misses() - TlbFlips;
-    for (size_t I = 0; I < R.MissLines.size(); ++I)
-      if (!Dead[I])
-        BeyondCycles += Mem->accessBeyondL1(R.MissLines[I]);
-    mergeState(L1State, R.L1, L1Ways);
-    mergeState(TlbState, R.Dtlb, TlbWays);
-  }
-
-  assert(L1Hits + L1Misses == TlbHits + TlbMisses &&
-         "every line costs one TLB and one L1 lookup");
-
-  // Serial cost decomposition, regrouped: each line pays its TLB-miss
-  // penalty plus exactly one of the level latencies, so the stall total
-  // (and the one timing credit replay would have accumulated) is a sum of
-  // the final counts.
-  const LatencyModel &Lat = HC.Latency;
-  uint64_t Total = uint64_t(Lat.L1Hit) * L1Hits +
-                   uint64_t(Lat.TlbMiss) * TlbMisses + BeyondCycles;
-  Mem->creditL1(L1Hits, L1Misses);
-  Mem->creditTlb(TlbHits, TlbMisses);
-  Mem->addStallCycles(Total);
-  RT.timing().addMemory(Total);
+  stitchShards(RT, Mem, Results, G);
 }

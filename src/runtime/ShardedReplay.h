@@ -49,6 +49,7 @@ namespace halo {
 
 class EventTrace;
 class Executor;
+class MappedTrace;
 class Runtime;
 
 /// How a measurement replays its trace. Counters are bit-identical under
@@ -84,6 +85,17 @@ bool parseReplayMode(const std::string &Text, ReplayMode &Out);
 /// accesses (the stitch assumes a cold L1/TLB), a single-worker pool, or
 /// a trace with too few records to cut.
 void shardedReplay(Runtime &RT, const EventTrace &Trace, Executor &Pool,
+                   size_t NumShards = 0);
+
+/// Same, over an on-disk mapped trace (trace/TraceFile.h). Shards are
+/// runs of whole compressed blocks balanced by decoded size: the block
+/// footer already records each block's first object id and realloc
+/// ordinal, so shard decode state is seeded straight from the index --
+/// no scan over earlier blocks -- and each shard task decompresses only
+/// its own blocks into a private scratch (bounded memory per worker).
+/// Counters are bit-identical to the serial mapped replay, which is
+/// itself bit-identical to the in-RAM oracle.
+void shardedReplay(Runtime &RT, const MappedTrace &Trace, Executor &Pool,
                    size_t NumShards = 0);
 
 } // namespace halo

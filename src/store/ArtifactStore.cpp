@@ -188,12 +188,44 @@ bool readWholeFile(const std::string &Path, std::vector<uint8_t> &Out) {
   return true;
 }
 
-/// Decodes one entry file into (header fields, payload). Throws
-/// SerializationError on any inconsistency; callers translate that into
-/// "absent" (get/contains) or a verify diagnostic (entries).
-std::vector<uint8_t> decodeEntry(const std::vector<uint8_t> &Raw,
-                                 ArtifactStore::Entry &Header) {
-  BinaryReader R(Raw);
+/// Reads at most \p MaxN bytes from the front of \p Path (less if the file
+/// is shorter) and reports the full file size. Enough to parse an entry
+/// header without pulling a multi-gigabyte payload into memory.
+bool readFilePrefix(const std::string &Path, size_t MaxN,
+                    std::vector<uint8_t> &Out, uint64_t &FileSize) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || !S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return false;
+  }
+  FileSize = static_cast<uint64_t>(St.st_size);
+  Out.resize(static_cast<size_t>(std::min<uint64_t>(FileSize, MaxN)));
+  size_t Done = 0;
+  while (Done < Out.size()) {
+    ssize_t N = ::read(Fd, Out.data() + Done, Out.size() - Done);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      ::close(Fd);
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  ::close(Fd);
+  return true;
+}
+
+/// Parses one entry header (magic through payload checksum) from the
+/// first \p N bytes of an entry file, filling \p Header (Type, Hash,
+/// Label, PayloadSize) and \p Checksum. Returns the header's byte count;
+/// the payload follows immediately. Throws SerializationError on any
+/// inconsistency.
+size_t decodeEntryHeader(const uint8_t *Data, size_t N,
+                         ArtifactStore::Entry &Header, uint64_t &Checksum) {
+  BinaryReader R(Data, N);
   if (R.u32() != EntryMagic)
     throw SerializationError("store entry: bad magic");
   uint32_t Schema = R.u32();
@@ -207,16 +239,25 @@ std::vector<uint8_t> decodeEntry(const std::vector<uint8_t> &Raw,
   Header.Type = static_cast<ArtifactType>(Type);
   Header.Hash = R.u64();
   Header.Label = R.str();
-  uint64_t Size = R.varint();
-  uint64_t Checksum = R.u64();
-  if (Size != R.remaining())
+  Header.PayloadSize = R.varint();
+  Checksum = R.u64();
+  return N - R.remaining();
+}
+
+/// Decodes one entry file into (header fields, payload). Throws
+/// SerializationError on any inconsistency; callers translate that into
+/// "absent" (get/contains) or a verify diagnostic (entries).
+std::vector<uint8_t> decodeEntry(const std::vector<uint8_t> &Raw,
+                                 ArtifactStore::Entry &Header) {
+  uint64_t Checksum = 0;
+  size_t HeaderBytes =
+      decodeEntryHeader(Raw.data(), Raw.size(), Header, Checksum);
+  if (Header.PayloadSize != Raw.size() - HeaderBytes)
     throw SerializationError("store entry: truncated payload");
-  std::vector<uint8_t> Payload(static_cast<size_t>(Size));
-  R.bytes(Payload.data(), Payload.size());
-  R.expectEnd("store entry");
+  std::vector<uint8_t> Payload(Raw.begin() + static_cast<long>(HeaderBytes),
+                               Raw.end());
   if (fnv1a(Payload.data(), Payload.size()) != Checksum)
     throw SerializationError("store entry: payload checksum mismatch");
-  Header.PayloadSize = Size;
   return Payload;
 }
 
@@ -298,7 +339,7 @@ bool ArtifactStore::contains(const StoreKey &Key) const {
   return get(Key).has_value();
 }
 
-std::vector<ArtifactStore::Entry> ArtifactStore::entries() const {
+std::vector<ArtifactStore::Entry> ArtifactStore::entries(bool Validate) const {
   std::vector<Entry> Result;
   DIR *D = ::opendir(Dir.c_str());
   if (!D)
@@ -310,20 +351,33 @@ std::vector<ArtifactStore::Entry> ArtifactStore::entries() const {
       continue;
     Entry E;
     E.File = Name;
-    std::vector<uint8_t> Raw;
-    if (!readWholeFile(Dir + "/" + Name, Raw)) {
-      E.Problem = "unreadable";
-    } else {
-      try {
+    try {
+      if (Validate) {
+        std::vector<uint8_t> Raw;
+        if (!readWholeFile(Dir + "/" + Name, Raw))
+          throw SerializationError("unreadable");
         decodeEntry(Raw, E);
-        // The file name must agree with the header it carries.
-        if (Name != hashHex(E.Hash) + "." + artifactTypeName(E.Type))
-          E.Problem = "file name does not match entry key";
-        else
-          E.Valid = true;
-      } catch (const SerializationError &Err) {
-        E.Problem = Err.what();
+      } else {
+        // Listing mode: parse the header and check the payload extent
+        // against the file size, but skip the whole-payload checksum pass
+        // -- sizes stay reported even for entries gigabytes long.
+        std::vector<uint8_t> Prefix;
+        uint64_t FileSize = 0;
+        if (!readFilePrefix(Dir + "/" + Name, 4096, Prefix, FileSize))
+          throw SerializationError("unreadable");
+        uint64_t Checksum = 0;
+        size_t HeaderBytes =
+            decodeEntryHeader(Prefix.data(), Prefix.size(), E, Checksum);
+        if (HeaderBytes + E.PayloadSize != FileSize)
+          throw SerializationError("store entry: truncated payload");
       }
+      // The file name must agree with the header it carries.
+      if (Name != hashHex(E.Hash) + "." + artifactTypeName(E.Type))
+        E.Problem = "file name does not match entry key";
+      else
+        E.Valid = true;
+    } catch (const SerializationError &Err) {
+      E.Problem = Err.what();
     }
     Result.push_back(std::move(E));
   }
@@ -365,6 +419,145 @@ bool halo::putTrace(ArtifactStore &Store, const StoreKey &Key,
   BinaryWriter W;
   Trace.save(W);
   return Store.put(Key, W.buffer());
+}
+
+namespace {
+
+bool writeAll(int Fd, const void *Data, size_t Size) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::write(Fd, P + Done, Size - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Opens the trace entry file at \p Path as a zero-copy MappedTrace over
+/// its payload region. \p Key, when given, must match the entry header.
+std::optional<MappedTrace> openEntryTrace(const std::string &Path,
+                                          const StoreKey *Key) {
+  std::vector<uint8_t> Prefix;
+  uint64_t FileSize = 0;
+  if (!readFilePrefix(Path, 4096, Prefix, FileSize))
+    return std::nullopt;
+  try {
+    ArtifactStore::Entry Header;
+    uint64_t Checksum = 0;
+    size_t HeaderBytes =
+        decodeEntryHeader(Prefix.data(), Prefix.size(), Header, Checksum);
+    if (Header.Type != ArtifactType::Trace)
+      return std::nullopt;
+    if (Key && (Header.Hash != Key->Hash || Header.Type != Key->Type))
+      return std::nullopt;
+    if (HeaderBytes + Header.PayloadSize != FileSize)
+      return std::nullopt;
+    // The entry-level payload checksum is deliberately not recomputed:
+    // MappedTrace::open verifies the footer checksum and every per-block
+    // checksum over the very same bytes, so a second whole-file pass here
+    // would only duplicate that coverage.
+    return MappedTrace::open(Path, HeaderBytes, Header.PayloadSize);
+  } catch (const std::runtime_error &) {
+    // SerializationError (corrupt) or I/O failure: absence either way.
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+bool halo::putTraceFile(ArtifactStore &Store, const StoreKey &Key,
+                        const std::string &Path) {
+  int In = ::open(Path.c_str(), O_RDONLY);
+  if (In < 0)
+    return false;
+  struct stat St;
+  if (::fstat(In, &St) != 0 || !S_ISREG(St.st_mode)) {
+    ::close(In);
+    return false;
+  }
+  uint64_t PayloadSize = static_cast<uint64_t>(St.st_size);
+
+  // Pass 1: stream the payload checksum. The file is the recorder's own
+  // finished output, so its size is stable across the two passes.
+  std::vector<uint8_t> Buf(1 << 20);
+  uint64_t Checksum = 0xcbf29ce484222325ull; // FNV-1a offset basis.
+  uint64_t Seen = 0;
+  for (;;) {
+    ssize_t N = ::read(In, Buf.data(), Buf.size());
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(In);
+      return false;
+    }
+    if (N == 0)
+      break;
+    Checksum = fnv1a(Buf.data(), static_cast<size_t>(N), Checksum);
+    Seen += static_cast<uint64_t>(N);
+  }
+  if (Seen != PayloadSize || ::lseek(In, 0, SEEK_SET) != 0) {
+    ::close(In);
+    return false;
+  }
+
+  BinaryWriter W;
+  W.u32(EntryMagic);
+  W.u32(StoreSchemaVersion);
+  W.u8(static_cast<uint8_t>(Key.Type));
+  W.u64(Key.Hash);
+  W.str(Key.Label);
+  W.varint(PayloadSize);
+  W.u64(Checksum);
+
+  std::string Temp = Store.dir() + "/tmp." + hashHex(Key.Hash) + "." +
+                     std::to_string(::getpid()) + "." +
+                     std::to_string(TempSerial.fetch_add(1));
+  int Out = ::open(Temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Out < 0) {
+    ::close(In);
+    return false;
+  }
+  // Pass 2: header, then the payload bytes, never all in memory at once.
+  bool Good = writeAll(Out, W.buffer().data(), W.buffer().size());
+  while (Good) {
+    ssize_t N = ::read(In, Buf.data(), Buf.size());
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Good = false;
+      break;
+    }
+    if (N == 0)
+      break;
+    Good = writeAll(Out, Buf.data(), static_cast<size_t>(N));
+  }
+  ::close(In);
+  if (::close(Out) != 0)
+    Good = false;
+  if (!Good) {
+    ::unlink(Temp.c_str());
+    return false;
+  }
+  std::string Final = Store.dir() + "/" + entryFileName(Key);
+  if (::rename(Temp.c_str(), Final.c_str()) != 0) {
+    ::unlink(Temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<MappedTrace> halo::openMappedTrace(const ArtifactStore &Store,
+                                                 const StoreKey &Key) {
+  return openEntryTrace(Store.dir() + "/" + entryFileName(Key), &Key);
+}
+
+std::optional<MappedTrace> halo::openTraceEntryFile(const std::string &Path) {
+  return openEntryTrace(Path, nullptr);
 }
 
 std::optional<EventTrace> halo::getTrace(const ArtifactStore &Store,

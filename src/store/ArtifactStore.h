@@ -35,6 +35,7 @@
 
 #include "core/Pipeline.h"
 #include "hds/HdsPipeline.h"
+#include "trace/TraceFile.h"
 #include "workloads/Workload.h"
 
 #include <cstdint>
@@ -50,7 +51,9 @@ class EventTrace;
 /// store. Bump it whenever any save/load pair or key component changes
 /// meaning: old entries then miss (their hashes differ) instead of
 /// decoding under wrong assumptions.
-constexpr uint32_t StoreSchemaVersion = 1;
+///
+/// v2: traces use the block-compressed on-disk format (trace/TraceFile.h).
+constexpr uint32_t StoreSchemaVersion = 2;
 
 /// What an entry holds; part of the key, so the same (benchmark, scale,
 /// seed) coordinate never collides across domains.
@@ -124,8 +127,12 @@ public:
   /// checksums it; plan building uses this to prune tasks).
   bool contains(const StoreKey &Key) const;
 
-  /// Every entry file in the store, validated, sorted by file name.
-  std::vector<Entry> entries() const;
+  /// Every entry file in the store, sorted by file name. With \p Validate
+  /// the whole payload is read and checksummed (`store verify` / gc); without
+  /// it only the header is parsed and PayloadSize comes from the header, so
+  /// listing a store of multi-gigabyte traces stays cheap and `store ls`
+  /// can always report per-entry sizes.
+  std::vector<Entry> entries(bool Validate = true) const;
 
   /// Removes invalid entries and abandoned temp files; returns how many
   /// files were deleted. Valid entries are never touched.
@@ -148,6 +155,29 @@ bool putTrace(ArtifactStore &Store, const StoreKey &Key,
 /// Loads and decodes a trace; nullopt on miss or any decode failure.
 std::optional<EventTrace> getTrace(const ArtifactStore &Store,
                                    const StoreKey &Key);
+
+/// Publishes the trace file at \p Path (written by a streaming
+/// TraceFileWriter) under \p Key without ever materialising the payload in
+/// memory: one streaming pass computes the entry checksum, a second copies
+/// the bytes behind the entry header into a temp file, then the usual
+/// atomic rename. Returns false on any I/O failure.
+bool putTraceFile(ArtifactStore &Store, const StoreKey &Key,
+                  const std::string &Path);
+
+/// Opens the trace entry for \p Key as a zero-copy MappedTrace over the
+/// entry file's payload region. The entry header is validated but the
+/// entry-level payload checksum is *not* recomputed -- in the v2 trace
+/// format every payload byte is already covered by a per-block or footer
+/// checksum that MappedTrace::open verifies, so a second whole-file pass
+/// would only repeat that work. Missing, corrupt, or mismatched entries
+/// return nullopt (corruption is absence, as everywhere in the store).
+std::optional<MappedTrace> openMappedTrace(const ArtifactStore &Store,
+                                           const StoreKey &Key);
+
+/// Same, by entry file path instead of key: lets `halo_cli trace info`
+/// inspect a trace entry inside a store directory without knowing how its
+/// key was derived. The file must be a valid trace-type entry.
+std::optional<MappedTrace> openTraceEntryFile(const std::string &Path);
 
 /// Publishes \p Art under \p Key (Key.Type must be Halo).
 bool putHaloArtifacts(ArtifactStore &Store, const StoreKey &Key,

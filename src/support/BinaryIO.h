@@ -151,6 +151,16 @@ public:
   size_t remaining() const { return static_cast<size_t>(End - P); }
   bool atEnd() const { return P == End; }
 
+  /// The current read position. Pairs with skip() for decoders that hand
+  /// a sub-range to a nested parser (the block-trace footer walks its
+  /// payload from both ends) and then advance past it.
+  const uint8_t *cursor() const { return P; }
+
+  void skip(uint64_t Size) {
+    need(Size);
+    P += Size;
+  }
+
   /// Decoders call this after the last field: trailing bytes mean the
   /// buffer is not what the schema says it is.
   void expectEnd(const char *What) const {

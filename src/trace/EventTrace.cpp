@@ -3,52 +3,21 @@
 #include "trace/EventTrace.h"
 
 #include "support/BinaryIO.h"
+#include "support/Hash.h"
+#include "support/Lz.h"
+#include "trace/TraceFile.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace halo;
-
-namespace {
-
-/// Decodes the operands of one record whose tag \p Op was already
-/// consumed. Unused fields stay untouched (consumers read only the
-/// operands the op defines).
-inline void decodeOperands(EventTrace::Reader &R, TraceOp Op,
-                           TraceEvent &E) {
-  switch (Op) {
-  case TraceOp::Return:
-    break;
-  case TraceOp::Call:
-  case TraceOp::Free:
-  case TraceOp::Compute:
-    E.A = R.varint();
-    break;
-  case TraceOp::Alloc:
-  case TraceOp::LoadBase:
-  case TraceOp::StoreBase:
-  case TraceOp::LoadRaw:
-  case TraceOp::StoreRaw:
-    E.A = R.varint();
-    E.B = R.varint();
-    break;
-  case TraceOp::Load:
-  case TraceOp::Store:
-  case TraceOp::Realloc:
-    E.A = R.varint();
-    E.B = R.varint();
-    E.C = R.varint();
-    break;
-  }
-}
-
-} // namespace
 
 size_t EventTrace::Cursor::fill(TraceEvent *Out, size_t MaxN) {
   size_t N = 0;
   while (N < MaxN && !R.atEnd()) {
     TraceEvent &E = Out[N++];
     E.Op = R.op();
-    decodeOperands(R, E.Op, E);
+    decodeTraceOperands(R, E.Op, E);
   }
   return N;
 }
@@ -178,60 +147,97 @@ void TraceRecorder::onReallocBegin(uint64_t OldAddr, uint64_t NewSize,
 void TraceRecorder::onReallocEnd(uint64_t) { InRealloc = false; }
 
 //===----------------------------------------------------------------------===//
-// Serialization
+// Streaming recording
 //===----------------------------------------------------------------------===//
 
-namespace {
-/// "HTRC": the on-disk event-trace format.
-constexpr uint32_t TraceMagic = 0x43525448;
-constexpr uint32_t TraceFormatVersion = 1;
-} // namespace
+void EventTrace::streamTo(TraceFileWriter &NewSink, uint64_t BlockBytes) {
+  assert(Buffer.empty() && Counts.total() == 0 &&
+         "streaming must start from an empty trace");
+  Sink = &NewSink;
+  SinkBlockBytes = BlockBytes ? BlockBytes : TraceBlockBytes;
+}
 
-void EventTrace::save(BinaryWriter &W) const {
-  W.u32(TraceMagic);
-  W.u32(TraceFormatVersion);
-  W.varint(Counts.Calls);
-  W.varint(Counts.Returns);
-  W.varint(Counts.Allocs);
-  W.varint(Counts.Frees);
-  W.varint(Counts.Loads);
-  W.varint(Counts.Stores);
-  W.varint(Counts.RawLoads);
-  W.varint(Counts.RawStores);
-  W.varint(Counts.Computes);
-  W.varint(Counts.Reallocs);
-  W.varint(Objects);
-  W.varint(Buffer.size());
-  W.bytes(Buffer.data(), Buffer.size());
+void EventTrace::flushSinkBlock() {
+  // record* methods count a record only after emit() returns, and the
+  // flush runs before emit() appends, so the buffer here is exactly the
+  // whole records the counters describe.
+  Sink->addBlock(Buffer.data(), Buffer.size(), Counts.total(), Objects,
+                 Counts.Reallocs);
+  StreamedBytes += Buffer.size();
+  Buffer.clear();
+}
+
+bool EventTrace::finishStream() {
+  assert(Sink && "finishStream without streamTo");
+  if (!Buffer.empty())
+    flushSinkBlock();
+  TraceFileWriter *S = Sink;
+  Sink = nullptr;
+  SinkBlockBytes = 0;
+  return S->finish(Counts, Objects);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization (the block format of trace/TraceFile.h)
+//===----------------------------------------------------------------------===//
+
+void EventTrace::save(BinaryWriter &W, uint64_t BlockBytes) const {
+  assert(!Sink && "a streaming trace has already left RAM");
+  if (BlockBytes == 0)
+    BlockBytes = TraceBlockBytes;
+  TraceFileWriter FW(W);
+  // Cut the buffer into blocks of whole records by the same rule the
+  // streaming flush applies -- the shortest record prefix of at least
+  // BlockBytes -- so saving after the fact reproduces a streamed file
+  // byte for byte. Skipping a record needs no operand decoding, just
+  // the varint continuation bit.
+  const uint8_t *P = Buffer.data(), *End = P + Buffer.size();
+  const uint8_t *BlockStart = P;
+  uint64_t Events = 0, Minted = 0, Reallocs = 0;
+  while (P != End) {
+    TraceOp Op = static_cast<TraceOp>(*P++);
+    for (unsigned K = traceOperandCount(Op); K; --K) {
+      while (*P & 0x80)
+        ++P;
+      ++P;
+    }
+    ++Events;
+    Minted += Op == TraceOp::Alloc || Op == TraceOp::Realloc;
+    Reallocs += Op == TraceOp::Realloc;
+    if (static_cast<uint64_t>(P - BlockStart) >= BlockBytes) {
+      FW.addBlock(BlockStart, static_cast<size_t>(P - BlockStart), Events,
+                  Minted, Reallocs);
+      BlockStart = P;
+    }
+  }
+  if (P != BlockStart)
+    FW.addBlock(BlockStart, static_cast<size_t>(P - BlockStart), Events,
+                Minted, Reallocs);
+  FW.finish(Counts, Objects);
 }
 
 EventTrace EventTrace::load(BinaryReader &R) {
-  if (R.u32() != TraceMagic)
-    throw SerializationError("event trace: bad magic");
-  uint32_t Version = R.u32();
-  if (Version != TraceFormatVersion)
-    throw SerializationError("event trace: unknown format version " +
-                             std::to_string(Version));
+  // The trace image spans the remainder of the buffer (store entries end
+  // with the trace payload; getTrace's expectEnd holds the contract).
+  const uint8_t *Image = R.cursor();
+  size_t Size = R.remaining();
+  TraceIndex Idx = parseTraceIndex(Image, Size);
   EventTrace Trace;
-  Trace.Counts.Calls = R.varint();
-  Trace.Counts.Returns = R.varint();
-  Trace.Counts.Allocs = R.varint();
-  Trace.Counts.Frees = R.varint();
-  Trace.Counts.Loads = R.varint();
-  Trace.Counts.Stores = R.varint();
-  Trace.Counts.RawLoads = R.varint();
-  Trace.Counts.RawStores = R.varint();
-  Trace.Counts.Computes = R.varint();
-  Trace.Counts.Reallocs = R.varint();
-  uint64_t Objects = R.varint();
-  // Object ids are minted by Alloc/Realloc records; a count disagreeing
-  // with the header means the entry is not a faithful recording.
-  if (Objects != Trace.Counts.Allocs + Trace.Counts.Reallocs ||
-      Objects > UINT32_MAX)
-    throw SerializationError("event trace: object count mismatch");
-  Trace.Objects = static_cast<ObjectId>(Objects);
-  uint64_t Size = R.varint();
-  Trace.Buffer.resize(static_cast<size_t>(Size));
-  R.bytes(Trace.Buffer.data(), Trace.Buffer.size());
+  Trace.Counts = Idx.Counts;
+  Trace.Objects = static_cast<ObjectId>(Idx.Objects);
+  Trace.Buffer.resize(static_cast<size_t>(Idx.TotalRawBytes));
+  const uint8_t *Blocks = Image + TraceHeaderBytes;
+  for (const TraceBlockInfo &B : Idx.Blocks) {
+    const uint8_t *Payload = Blocks + B.FileOffset;
+    if (fnv1a(Payload, static_cast<size_t>(B.CompBytes)) != B.Checksum)
+      throw SerializationError("trace file: block checksum mismatch");
+    uint8_t *Dst = Trace.Buffer.data() + B.RawOffset;
+    if (B.Method == 0)
+      std::memcpy(Dst, Payload, static_cast<size_t>(B.CompBytes));
+    else
+      lz::decompress(Payload, static_cast<size_t>(B.CompBytes), Dst,
+                     static_cast<size_t>(B.RawBytes));
+  }
+  R.skip(Size);
   return Trace;
 }

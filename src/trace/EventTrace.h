@@ -43,6 +43,7 @@ namespace halo {
 
 class BinaryWriter;
 class BinaryReader;
+class TraceFileWriter;
 
 /// Tag byte of each trace record. Operands are LEB128 varints. Every
 /// consumer dispatches on this with a fully-enumerated switch (no
@@ -62,6 +63,31 @@ enum class TraceOp : uint8_t {
   Compute,   ///< cycles
   Realloc,   ///< old object id, site, new size; mints the next object id
 };
+
+/// Operand count of \p Op (every operand is one varint). Shared by the
+/// consumers that skip records without decoding them: the shard planner's
+/// boundary scan and the save-time block cutter.
+inline unsigned traceOperandCount(TraceOp Op) {
+  switch (Op) {
+  case TraceOp::Return:
+    return 0;
+  case TraceOp::Call:
+  case TraceOp::Free:
+  case TraceOp::Compute:
+    return 1;
+  case TraceOp::Alloc:
+  case TraceOp::LoadBase:
+  case TraceOp::StoreBase:
+  case TraceOp::LoadRaw:
+  case TraceOp::StoreRaw:
+    return 2;
+  case TraceOp::Load:
+  case TraceOp::Store:
+  case TraceOp::Realloc:
+    return 3;
+  }
+  return 0;
+}
 
 /// One decoded trace record: the tag plus up to three operands in record
 /// order (A holds the first operand, B the second, C the third; fields
@@ -132,6 +158,7 @@ public:
   };
 
   Reader reader() const {
+    assert(!Sink && "a streaming trace has no in-RAM buffer to read");
     return Reader(Buffer.data(), Buffer.data() + Buffer.size());
   }
 
@@ -219,22 +246,44 @@ public:
   uint64_t numEvents() const { return Counts.total(); }
   /// Objects ever minted (Alloc + Realloc records).
   uint32_t numObjects() const { return Objects; }
-  uint64_t byteSize() const { return Buffer.size(); }
-  bool empty() const { return Buffer.empty(); }
+  /// Encoded record bytes, including any already streamed to a sink.
+  uint64_t byteSize() const { return StreamedBytes + Buffer.size(); }
+  bool empty() const { return StreamedBytes == 0 && Buffer.empty(); }
+  /// True between streamTo() and finishStream(): records are leaving RAM
+  /// as they flush, so the trace is write-only (no reader()/save()).
+  bool streaming() const { return Sink != nullptr; }
+
+  // -- Streaming recording -----------------------------------------------
+  /// Switches this (empty) trace into streaming mode: from now on, every
+  /// time the buffer reaches \p BlockBytes whole records (0 = the default
+  /// TraceBlockBytes), they flush to \p Sink as one compressed block and
+  /// leave RAM. The trace becomes write-only -- reader()/save() are out,
+  /// counts stay live -- and the block cut rule is the very one save()
+  /// applies, so the streamed file is byte-identical to recording in RAM
+  /// and saving afterwards (tests/trace_file_test.cpp pins this).
+  void streamTo(TraceFileWriter &Sink, uint64_t BlockBytes = 0);
+
+  /// Flushes the tail block and seals the sink's footer. Returns the
+  /// sink's ok() (false = an I/O error was latched). The trace leaves
+  /// streaming mode; its buffer is empty.
+  bool finishStream();
 
   // -- Serialization -----------------------------------------------------
-  /// Writes the trace to \p W: a versioned header (magic, format version,
-  /// per-kind record counts, object count) followed by the varint event
-  /// buffer verbatim. The buffer is already flat and allocator-independent,
-  /// so save/load round-trips it byte-identically -- a loaded trace replays
-  /// bit-identically to the recording it came from. The format version
-  /// guards the *encoding*; the artifact store additionally stamps every
-  /// entry with the store schema version (cache invalidation by key).
-  void save(BinaryWriter &W) const;
+  /// Writes the trace to \p W in the on-disk block format
+  /// (trace/TraceFile.h): header, independently compressed blocks of
+  /// whole records cut at \p BlockBytes (0 = the default TraceBlockBytes),
+  /// footer index, trailer. save/load round-trips the record bytes
+  /// exactly -- a loaded trace replays bit-identically to the recording
+  /// it came from -- and re-saving a loaded trace reproduces the stored
+  /// bytes. The format version guards the *encoding*; the artifact store
+  /// additionally stamps every entry with the store schema version
+  /// (cache invalidation by key).
+  void save(BinaryWriter &W, uint64_t BlockBytes = 0) const;
 
-  /// Decodes a save()d trace. Throws SerializationError on bad magic,
-  /// unknown version, truncation, or a header inconsistent with the
-  /// payload (callers fall back to re-recording).
+  /// Decodes a save()d trace, which must span the remainder of \p R.
+  /// Throws SerializationError on bad magic, unknown version, truncation,
+  /// a checksum mismatch, or an index inconsistent with the payload
+  /// (callers fall back to re-recording).
   static EventTrace load(BinaryReader &R);
 
 private:
@@ -248,8 +297,14 @@ private:
   }
 
   /// Encodes one record into a stack scratch and appends it with a single
-  /// insert (one growth check per record, not per byte).
+  /// insert (one growth check per record, not per byte). In streaming
+  /// mode the flush check runs *before* the append: record* methods count
+  /// a record only after emitting it, so at this point the buffer holds
+  /// exactly the whole records the counters describe -- the invariant
+  /// that makes each flushed block a counted record prefix.
   template <typename... OperandTs> void emit(TraceOp Op, OperandTs... Ops) {
+    if (Sink && Buffer.size() >= SinkBlockBytes)
+      flushSinkBlock();
     uint8_t Tmp[1 + sizeof...(OperandTs) * 10];
     size_t N = 0;
     Tmp[N++] = static_cast<uint8_t>(Op);
@@ -257,10 +312,51 @@ private:
     Buffer.insert(Buffer.end(), Tmp, Tmp + N);
   }
 
+  /// Compresses the buffered records into one sink block and empties the
+  /// buffer (out-of-line: needs TraceFileWriter's definition).
+  void flushSinkBlock();
+
   std::vector<uint8_t> Buffer;
   TraceCounts Counts;
   ObjectId Objects = 0;
+  /// Streaming mode (streamTo/finishStream); null when fully in RAM.
+  TraceFileWriter *Sink = nullptr;
+  uint64_t SinkBlockBytes = 0;
+  /// Record bytes already flushed out of Buffer.
+  uint64_t StreamedBytes = 0;
 };
+
+/// Decodes the operands of one record whose tag \p Op was already
+/// consumed. Unused fields stay untouched (consumers read only the
+/// operands the op defines). Shared by EventTrace::Cursor and the
+/// block-streaming MappedTrace::Cursor.
+inline void decodeTraceOperands(EventTrace::Reader &R, TraceOp Op,
+                                TraceEvent &E) {
+  switch (Op) {
+  case TraceOp::Return:
+    break;
+  case TraceOp::Call:
+  case TraceOp::Free:
+  case TraceOp::Compute:
+    E.A = R.varint();
+    break;
+  case TraceOp::Alloc:
+  case TraceOp::LoadBase:
+  case TraceOp::StoreBase:
+  case TraceOp::LoadRaw:
+  case TraceOp::StoreRaw:
+    E.A = R.varint();
+    E.B = R.varint();
+    break;
+  case TraceOp::Load:
+  case TraceOp::Store:
+  case TraceOp::Realloc:
+    E.A = R.varint();
+    E.B = R.varint();
+    E.C = R.varint();
+    break;
+  }
+}
 
 /// The allocator recording runs are served by: object ids are encoded in
 /// the returned addresses (Base + id * 2^32), so the recorder resolves

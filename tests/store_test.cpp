@@ -364,6 +364,180 @@ TEST(StoreCorruption, GcKeepsValidEntries) {
 }
 
 //===----------------------------------------------------------------------===//
+// On-disk trace entries (putTraceFile / openMappedTrace)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Streams one recording of ("ft", Test, \p Seed) to \p Path.
+void recordTraceTo(Evaluation &Eval, uint64_t Seed, const std::string &Path) {
+  Eval.recordTraceFile(Scale::Test, Seed, Path);
+}
+
+} // namespace
+
+TEST(StoreTraceFiles, PutTraceFileRoundTripsThroughMappedOpen) {
+  Evaluation Eval(paperSetup("ft"));
+  TempStore Store;
+  StoreKey Key = traceStoreKey("ft", Scale::Test, 1);
+  std::string Temp = Store.path() + "/tmp.recording";
+  recordTraceTo(Eval, 1, Temp);
+
+  ASSERT_TRUE(putTraceFile(*Store, Key, Temp));
+  EXPECT_TRUE(Store->contains(Key));
+
+  // The published payload is byte-identical to the recorded file, so the
+  // streamed entry is interchangeable with putTrace of the same trace.
+  std::optional<std::vector<uint8_t>> Payload = Store->get(Key);
+  ASSERT_TRUE(Payload.has_value());
+  BinaryWriter Saved;
+  Eval.trace(Scale::Test, 1).save(Saved);
+  EXPECT_EQ(*Payload, Saved.buffer());
+
+  // Every read path agrees: mmap'd straight off the entry, decoded whole
+  // via getTrace, and `trace info`'s entry-file form.
+  std::optional<MappedTrace> Mapped = openMappedTrace(*Store, Key);
+  ASSERT_TRUE(Mapped.has_value());
+  EXPECT_EQ(Mapped->numEvents(), Eval.trace(Scale::Test, 1).numEvents());
+  EXPECT_EQ(Mapped->numObjects(), Eval.trace(Scale::Test, 1).numObjects());
+  std::optional<EventTrace> Loaded = getTrace(*Store, Key);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->numEvents(), Mapped->numEvents());
+  std::optional<MappedTrace> ByPath =
+      openTraceEntryFile(entryFile(*Store, Key));
+  ASSERT_TRUE(ByPath.has_value());
+  EXPECT_EQ(ByPath->numEvents(), Mapped->numEvents());
+
+  // Key discipline holds for the mapped reader too.
+  EXPECT_FALSE(
+      openMappedTrace(*Store, traceStoreKey("ft", Scale::Test, 2)).has_value());
+  unlink(Temp.c_str());
+}
+
+TEST(StoreTraceFiles, HeaderOnlyListingStillReportsSizes) {
+  // `store ls` must show per-entry payload sizes without paying a full
+  // checksum pass -- oversized trace entries stay visible before gc
+  // decisions -- while still catching the cheap structural lies.
+  Evaluation Eval(paperSetup("ft"));
+  TempStore Store;
+  StoreKey Key = traceStoreKey("ft", Scale::Test, 1);
+  std::string Temp = Store.path() + "/tmp.recording";
+  recordTraceTo(Eval, 1, Temp);
+  ASSERT_TRUE(putTraceFile(*Store, Key, Temp));
+  unlink(Temp.c_str());
+
+  std::vector<ArtifactStore::Entry> Checked = Store->entries();
+  std::vector<ArtifactStore::Entry> Listed = Store->entries(/*Validate=*/false);
+  ASSERT_EQ(Checked.size(), 1u);
+  ASSERT_EQ(Listed.size(), 1u);
+  EXPECT_EQ(Listed[0].PayloadSize, Checked[0].PayloadSize);
+  EXPECT_EQ(Listed[0].Label, Checked[0].Label);
+  EXPECT_TRUE(Listed[0].Valid);
+
+  // A payload bit flip passes the header-only listing (by design) but
+  // fails validation; truncation fails both (the extent check is cheap).
+  flipByte(entryFile(*Store, Key));
+  EXPECT_TRUE(Store->entries(/*Validate=*/false)[0].Valid);
+  EXPECT_FALSE(Store->entries()[0].Valid);
+  truncateFile(entryFile(*Store, Key));
+  EXPECT_FALSE(Store->entries(/*Validate=*/false)[0].Valid);
+}
+
+TEST(StoreTraceFiles, CorruptTraceEntriesReadAsAbsent) {
+  // The store discipline extends to the block format: a truncated,
+  // bit-flipped, or schema-mismatched trace entry reads as absence
+  // through every accessor, never as a decode error.
+  Evaluation Eval(paperSetup("ft"));
+  TempStore Store;
+  StoreKey Flipped = traceStoreKey("ft", Scale::Test, 1);
+  StoreKey Truncated = traceStoreKey("ft", Scale::Test, 2);
+  StoreKey Mismatched = traceStoreKey("ft", Scale::Test, 3);
+  for (const auto &P :
+       {std::make_pair(Flipped, uint64_t(1)),
+        std::make_pair(Truncated, uint64_t(2)),
+        std::make_pair(Mismatched, uint64_t(3))}) {
+    std::string Temp = Store.path() + "/tmp.recording";
+    recordTraceTo(Eval, P.second, Temp);
+    ASSERT_TRUE(putTraceFile(*Store, P.first, Temp));
+    unlink(Temp.c_str());
+  }
+
+  flipByte(entryFile(*Store, Flipped));
+  truncateFile(entryFile(*Store, Truncated));
+  {
+    // Flip one bit of the schema field (offset 4, after the u32 magic):
+    // the entry claims a format this build does not speak.
+    std::string File = entryFile(*Store, Mismatched);
+    FILE *F = std::fopen(File.c_str(), "r+b");
+    ASSERT_NE(F, nullptr);
+    ASSERT_EQ(std::fseek(F, 4, SEEK_SET), 0);
+    int C = std::fgetc(F);
+    ASSERT_NE(C, EOF);
+    ASSERT_EQ(std::fseek(F, 4, SEEK_SET), 0);
+    std::fputc(C ^ 0x20, F);
+    std::fclose(F);
+  }
+
+  for (const StoreKey &Key : {Flipped, Truncated, Mismatched}) {
+    SCOPED_TRACE(Key.Label);
+    EXPECT_FALSE(openMappedTrace(*Store, Key).has_value());
+    EXPECT_FALSE(getTrace(*Store, Key).has_value());
+    EXPECT_FALSE(Store->contains(Key));
+  }
+  // gc sweeps all three.
+  EXPECT_EQ(Store->gc(), 3u);
+  EXPECT_TRUE(Store->entries().empty());
+}
+
+TEST(StoreTraceFiles, MappedPlansColdWarmAndHealBitIdentically) {
+  TempStore Store;
+
+  // Cold mapped run: measurement traces stream into the store.
+  ExperimentPlan ColdPlan = buildPlan({smallSpec()}, {}, &*Store);
+  EXPECT_EQ(ColdPlan.numRecordings(), 2u);
+  ResultSet Cold =
+      runPlan(ColdPlan, /*Jobs=*/2, ReplayMode::Auto, TraceMode::Mapped);
+
+  // No abandoned recorder temp files survive a clean cold run.
+  for (const ArtifactStore::Entry &E : Store->entries())
+    EXPECT_TRUE(E.Valid) << E.File << ": " << E.Problem;
+  EXPECT_EQ(Store->gc(), 0u);
+
+  // Warm mapped run: zero recordings scheduled, entries open mmap'd,
+  // results bit-identical to cold and to the in-RAM oracle.
+  ExperimentPlan WarmPlan = buildPlan({smallSpec()}, {}, &*Store);
+  EXPECT_EQ(WarmPlan.numRecordings(), 0u);
+  ResultSet Warm =
+      runPlan(WarmPlan, /*Jobs=*/2, ReplayMode::Auto, TraceMode::Mapped);
+  ExperimentPlan OraclePlan = buildPlan({smallSpec()});
+  ResultSet Oracle =
+      runPlan(OraclePlan, /*Jobs=*/1, ReplayMode::Auto, TraceMode::Memory);
+  ASSERT_EQ(Warm.size(), Cold.size());
+  ASSERT_EQ(Oracle.size(), Cold.size());
+  for (size_t C = 0; C < Cold.size(); ++C) {
+    SCOPED_TRACE("cell " + std::to_string(C));
+    expectSameRuns(Cold.cells()[C].Runs, Warm.cells()[C].Runs);
+    expectSameRuns(Cold.cells()[C].Runs, Oracle.cells()[C].Runs);
+  }
+
+  // Corrupt one trace entry *after* planning: the mapped open fails, the
+  // run re-records streaming and re-publishes -- cold fallback, healed
+  // store, identical results.
+  ExperimentPlan HealPlan = buildPlan({smallSpec()}, {}, &*Store);
+  EXPECT_EQ(HealPlan.numRecordings(), 0u);
+  StoreKey Lost = traceStoreKey("ft", Scale::Test, 100);
+  flipByte(entryFile(*Store, Lost));
+  ResultSet Healed =
+      runPlan(HealPlan, /*Jobs=*/2, ReplayMode::Auto, TraceMode::Mapped);
+  for (size_t C = 0; C < Cold.size(); ++C) {
+    SCOPED_TRACE("healed cell " + std::to_string(C));
+    expectSameRuns(Cold.cells()[C].Runs, Healed.cells()[C].Runs);
+  }
+  EXPECT_TRUE(Store->contains(Lost));
+  EXPECT_EQ(Store->gc(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Concurrency
 //===----------------------------------------------------------------------===//
 
