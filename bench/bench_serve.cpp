@@ -1,0 +1,246 @@
+//===- bench/bench_serve.cpp - Daemon overhead vs local runPlan --------------===//
+//
+// What does serving cost? The same mixed matrix (2 benchmarks x 2
+// machines x 3 allocator kinds) runs three ways --
+//
+//   serve_local:       one buildPlan/runPlan call in this process, the
+//                      baseline every daemon number is measured against,
+//   serve_daemon:      submitted cold to an in-process HaloDaemon over
+//                      its Unix socket (records, profiles, and populates
+//                      a fresh artifact store), results streamed back
+//                      cell by cell, and
+//   serve_daemon_warm: the same request again on the warm daemon, whose
+//                      held Evaluations and store reduce the plan to
+//                      pure replays.
+//
+// All three result sets must be bit-identical (asserted -- this is the
+// README's "served = local" contract on the bench path); the rows record
+// wall-clock only, so serve_daemon vs serve_local is the full
+// protocol + scheduler overhead and serve_daemon_warm shows what a
+// long-lived daemon amortises away.
+//
+// Rows append to BENCH_machines.json ({"bench": "serve", "machine":
+// matrix shape, "kind": row name, "wall_ms", "trials",
+// "speedup_percent" vs serve_local}).
+//
+//   bench_serve [--append] [BENCH_machines.json]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "eval/Experiment.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+using namespace halo;
+
+namespace {
+
+double nowMs() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+const char *const Benchmarks[] = {"health", "ft"};
+const char *const Machines[] = {"xeon-w2195", "mobile"};
+
+struct OutRow {
+  std::string Kind;
+  double WallMs = 0.0;
+  int Trials = 0;
+  double SpeedupPercent = 0.0;
+};
+
+void writeJson(const std::string &Path, const std::vector<OutRow> &Rows,
+               bool Append) {
+  std::string MatrixName = std::string(Benchmarks[0]) + "+" + Benchmarks[1] +
+                           "/" + Machines[0] + "+" + Machines[1];
+  std::vector<std::string> Lines;
+  Lines.reserve(Rows.size());
+  for (const OutRow &R : Rows) {
+    char Line[256];
+    int N = std::snprintf(
+        Line, sizeof(Line),
+        "  {\"bench\": \"serve\", \"machine\": \"%s\", "
+        "\"kind\": \"%s\", \"wall_ms\": %.6f, \"trials\": %d, "
+        "\"l1d_misses\": 0, \"tlb_misses\": 0, "
+        "\"speedup_percent\": %.4f}",
+        MatrixName.c_str(), R.Kind.c_str(), R.WallMs, R.Trials,
+        R.SpeedupPercent);
+    if (N < 0 || N >= static_cast<int>(sizeof(Line))) {
+      // A truncated fragment would merge into the trajectory file as
+      // malformed JSON with no error.
+      std::fprintf(stderr, "bench_serve: row too long\n");
+      std::exit(1);
+    }
+    Lines.push_back(Line);
+  }
+  bench::writeJsonRows(Path, Lines, Append);
+}
+
+/// Fatal unless \p A and \p B hold bit-identical cells in the same order:
+/// a served result that drifts from local is a broken daemon, and the
+/// rows must never paper over it.
+void expectIdenticalSets(const ResultSet &A, const ResultSet &B,
+                         const char *Where) {
+  bool Same = A.size() == B.size();
+  for (size_t C = 0; Same && C < A.size(); ++C) {
+    const ResultSet::Cell &CA = A.cells()[C];
+    const ResultSet::Cell &CB = B.cells()[C];
+    Same = CA.Key.Benchmark == CB.Key.Benchmark &&
+           CA.Key.Machine == CB.Key.Machine && CA.Key.Kind == CB.Key.Kind &&
+           CA.Runs.size() == CB.Runs.size();
+    for (size_t T = 0; Same && T < CA.Runs.size(); ++T)
+      Same = CA.Runs[T].Cycles == CB.Runs[T].Cycles &&
+             CA.Runs[T].Mem.L1Misses == CB.Runs[T].Mem.L1Misses &&
+             CA.Runs[T].Mem.TlbMisses == CB.Runs[T].Mem.TlbMisses &&
+             CA.Runs[T].GroupedAllocs == CB.Runs[T].GroupedAllocs;
+  }
+  if (!Same) {
+    std::fprintf(stderr, "bench_serve: FATAL: served diverged from local "
+                         "(%s)\n",
+                 Where);
+    std::exit(1);
+  }
+}
+
+void removeTree(const std::string &Dir) {
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (struct dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        unlink((Dir + "/" + Name).c_str());
+    }
+    closedir(D);
+  }
+  rmdir(Dir.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Append = false;
+  std::string OutPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--append") == 0)
+      Append = true;
+    else
+      OutPath = Argv[I];
+  }
+
+  const int Trials = bench::trials();
+  PlanRequest Request;
+  Request.Benchmarks.assign(std::begin(Benchmarks), std::end(Benchmarks));
+  Request.Machines.assign(std::begin(Machines), std::end(Machines));
+  Request.S = Scale::Ref;
+  Request.Trials = Trials;
+
+  // Baseline: the whole matrix locally, one runPlan, hardware jobs.
+  double LocalStart = nowMs();
+  ExperimentSpec Spec;
+  Spec.Benchmarks = Request.Benchmarks;
+  for (const char *Name : Machines) {
+    const MachineConfig *M = findMachine(Name);
+    if (!M) {
+      std::fprintf(stderr, "bench_serve: unknown machine preset %s\n", Name);
+      return 1;
+    }
+    Spec.Machines.push_back(M);
+  }
+  Spec.S = Request.S;
+  Spec.Trials = Trials;
+  ExperimentPlan Plan = buildPlan({Spec});
+  ResultSet Local = runPlan(Plan, /*Jobs=*/0);
+  double LocalMs = nowMs() - LocalStart;
+
+  // The daemon, in-process, on a temp socket with a fresh temp store.
+  char DirTemplate[] = "/tmp/halo_bench_serve.XXXXXX";
+  const char *Dir = mkdtemp(DirTemplate);
+  if (!Dir) {
+    std::fprintf(stderr, "bench_serve: mkdtemp failed\n");
+    return 1;
+  }
+  DaemonConfig Config;
+  Config.SocketPath = std::string(Dir) + "/halo.sock";
+  Config.StoreDir = std::string(Dir) + "/store";
+  HaloDaemon Daemon(Config);
+  int DaemonExit = -1;
+  std::thread Server([&] { DaemonExit = Daemon.serve(); });
+  for (int I = 0; I < 500 && access(Config.SocketPath.c_str(), F_OK) != 0;
+       ++I)
+    usleep(10000);
+
+  auto Submit = [&](HaloClient &Client) {
+    PlanOutcome Outcome = Client.wait(Client.submit(Request));
+    if (Outcome.Status != PlanStatus::Ok) {
+      std::fprintf(stderr, "bench_serve: daemon plan did not complete: %s\n",
+                   Outcome.Message.c_str());
+      std::exit(1);
+    }
+    return std::move(Outcome.Results);
+  };
+
+  double ColdMs, WarmMs;
+  {
+    HaloClient Client(Config.SocketPath);
+    double ColdStart = nowMs();
+    ResultSet Cold = Submit(Client);
+    ColdMs = nowMs() - ColdStart;
+    expectIdenticalSets(Local, Cold, "cold daemon");
+
+    double WarmStart = nowMs();
+    ResultSet Warm = Submit(Client);
+    WarmMs = nowMs() - WarmStart;
+    expectIdenticalSets(Local, Warm, "warm daemon");
+
+    Client.shutdownServer();
+  }
+  Server.join();
+  if (DaemonExit != 0) {
+    std::fprintf(stderr, "bench_serve: daemon exited %d\n", DaemonExit);
+    return 1;
+  }
+  removeTree(Config.StoreDir);
+  removeTree(Dir);
+
+  std::vector<OutRow> Rows(3);
+  Rows[0] = {"serve_local", LocalMs, Trials, 0.0};
+  Rows[1] = {"serve_daemon", ColdMs, Trials,
+             percentImprovement(LocalMs, ColdMs)};
+  Rows[2] = {"serve_daemon_warm", WarmMs, Trials,
+             percentImprovement(LocalMs, WarmMs)};
+
+  Report Table("halo serve: daemon overhead vs local runPlan");
+  Table.setColumns({"shape", "wall_ms", "trials", "vs local"});
+  for (const OutRow &R : Rows)
+    Table.addRow({R.Kind, formatDouble(R.WallMs, 3),
+                  std::to_string(R.Trials),
+                  formatPercent(R.SpeedupPercent, 2)});
+  Table.addNote("2 benchmarks x 2 machines x 3 kinds streamed through an "
+                "in-process daemon on a Unix socket; all three result sets "
+                "bit-identical (asserted)");
+  Table.addNote("serve_daemon is a cold submit (records + populates the "
+                "store); serve_daemon_warm reuses the daemon's held "
+                "Evaluations and store, so it is pure replay");
+  Table.print();
+
+  if (!OutPath.empty()) {
+    writeJson(OutPath, Rows, Append);
+    std::printf("\n%s %s (%zu rows)\n", Append ? "appended to" : "wrote",
+                OutPath.c_str(), Rows.size());
+  }
+  return 0;
+}

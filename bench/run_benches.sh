@@ -16,6 +16,10 @@
 #     machine preset. bench_experiments appends its experiments_mixed
 #     rows: the same mixed matrix scheduled as one experiment plan vs
 #     back-to-back sweepMachines calls (plan / sequential kinds).
+#     bench_serve appends its serve rows: the matrix run locally vs
+#     streamed through an in-process halo serve daemon, cold and warm
+#     (serve_local / serve_daemon / serve_daemon_warm kinds), all three
+#     bit-identical by assertion.
 # so successive PRs can track the perf trajectory.
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: build)
@@ -30,7 +34,7 @@ case "$BUILD" in
 esac
 
 for Bench in bench/bench_grouping_scale bench/bench_replay \
-             bench/bench_experiments examples/halo_cli; do
+             bench/bench_experiments bench/bench_serve examples/halo_cli; do
   if [[ ! -x "$BUILD/$Bench" ]]; then
     echo "error: $BUILD/$Bench not built; run: cmake -B $BUILD -S $ROOT && cmake --build $BUILD -j" >&2
     exit 1
@@ -53,5 +57,9 @@ cat "$ROOT/BENCH_pipeline.json"
 # Mixed-matrix scheduling row: the plan scheduler vs back-to-back
 # per-benchmark sweeps (bit-identical cells; the win needs cores).
 "$BUILD/bench/bench_experiments" --append "$ROOT/BENCH_machines.json"
+
+# Daemon overhead rows: the same matrix served through halo serve, cold
+# and warm, vs a local runPlan ("served = local" asserted bit-exact).
+"$BUILD/bench/bench_serve" --append "$ROOT/BENCH_machines.json"
 echo "BENCH_machines.json updated:"
 cat "$ROOT/BENCH_machines.json"

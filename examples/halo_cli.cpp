@@ -20,6 +20,15 @@
 //            [--kinds KIND,...] [--scale test|ref] [--seed-base N]
 //            [--trials N] [--jobs N] [--out FILE]
 //   halo_cli store <ls|gc|verify> [--store-dir DIR]
+//   halo_cli serve --socket PATH [--jobs N] [--store-dir DIR]
+//   halo_cli client <run|stats|shutdown> [benchmark...] --socket PATH
+//
+// `serve` runs the plan daemon (serve/Server.h): one warm Executor pool,
+// one open artifact store, and every benchmark's Evaluation cached across
+// requests; `client run` submits the same matrix `experiments` takes and
+// streams the cells back as they complete, writing (with --out) the very
+// JSON document a local `experiments --out` would -- byte-identical, the
+// "served = local" contract.
 //
 // --store-dir DIR (or $HALO_STORE) attaches a content-addressed artifact
 // store (store/ArtifactStore.h) to the measuring subcommands: recordings
@@ -50,7 +59,10 @@
 #include "eval/Evaluation.h"
 #include "eval/Experiment.h"
 #include "eval/Report.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
 #include "store/ArtifactStore.h"
+#include "support/Executor.h"
 #include "support/Format.h"
 #include "support/Stats.h"
 
@@ -80,6 +92,8 @@ struct CliOptions {
   std::string OutPath; ///< JSON output file ("" = stdout).
   std::string StoreVerb; ///< store: ls / gc / verify.
   std::string StoreDir;  ///< --store-dir ("" = $HALO_STORE or off).
+  std::string ClientVerb; ///< client: run / stats / shutdown.
+  std::string SocketPath; ///< --socket (serve / client).
   ReplayMode Mode = ReplayMode::Auto; ///< --replay-mode.
   bool SawReplayMode = false;         ///< --replay-mode given explicitly.
   TraceMode Traces = TraceMode::Auto; ///< --trace-mode.
@@ -105,6 +119,9 @@ struct CliOptions {
       "       halo_cli experiments [benchmark...] [flags]  # matrix -> JSON\n"
       "       halo_cli machines                       # list machine presets\n"
       "       halo_cli store <ls|gc|verify> [--store-dir DIR]\n"
+      "       halo_cli serve --socket PATH [--jobs N] [--store-dir DIR]\n"
+      "       halo_cli client run [benchmark...] --socket PATH [flags]\n"
+      "       halo_cli client <stats|shutdown> --socket PATH\n"
       "flags: --trials N  --jobs N  --machine NAME  --chunk-size BYTES\n"
       "       --max-spare-chunks N  --max-groups N  --affinity-distance BYTES\n"
       "       --out FILE (any JSON-emitting command)\n"
@@ -122,7 +139,13 @@ struct CliOptions {
       "       --scale test|ref  --seed-base N  (experiments)\n"
       "       --store-dir DIR (or $HALO_STORE): content-addressed cache of\n"
       "         recordings + pipeline artifacts (baseline/run/hds/sweep/\n"
-      "         experiments/store)\n"
+      "         experiments/store/serve)\n"
+      "       --socket PATH: the Unix-domain socket serve listens on and\n"
+      "         client connects to. client run takes the experiments\n"
+      "         matrix flags (--machines --kinds --scale --seed-base\n"
+      "         --trials --out) and streams cells as the daemon finishes\n"
+      "         them; with --out the JSON is byte-identical to a local\n"
+      "         `experiments --out` of the same matrix\n"
       "benchmarks:");
   for (const std::string &Name : workloadNames())
     std::fprintf(stderr, " %s", Name.c_str());
@@ -242,11 +265,16 @@ private:
   int I;
 };
 
-/// True when \p Command writes a JSON document (and thus honours --out).
-bool emitsJson(const std::string &Command) {
-  return Command == "baseline" || Command == "run" || Command == "hds" ||
-         Command == "trace" || Command == "sweep" ||
-         Command == "experiments";
+/// True when the invocation writes a JSON document (and thus honours
+/// --out). For store and client the verb decides: `store ls --out` emits
+/// the entry listing as JSON, `client run --out` the experiments
+/// document.
+bool emitsJson(const CliOptions &Opts) {
+  return Opts.Command == "baseline" || Opts.Command == "run" ||
+         Opts.Command == "hds" || Opts.Command == "trace" ||
+         Opts.Command == "sweep" || Opts.Command == "experiments" ||
+         (Opts.Command == "store" && Opts.StoreVerb == "ls") ||
+         (Opts.Command == "client" && Opts.ClientVerb == "run");
 }
 
 CliOptions parseArgs(int Argc, char **Argv) {
@@ -256,9 +284,17 @@ CliOptions parseArgs(int Argc, char **Argv) {
   Opts.Command = Argv[1];
   bool ListCommand = Opts.Command == "plot" || Opts.Command == "sweep" ||
                      Opts.Command == "experiments" ||
-                     Opts.Command == "machines";
+                     Opts.Command == "machines" || Opts.Command == "serve";
   int First = 2;
-  if (!ListCommand) {
+  if (Opts.Command == "client") {
+    // The verb comes first; any later positionals are benchmarks
+    // (meaningful for `client run` only, validated below).
+    if (Argc < 3 || Argv[2][0] == '-')
+      usage();
+    Opts.ClientVerb = Argv[2];
+    First = 3;
+    ListCommand = true;
+  } else if (!ListCommand) {
     if (Argc < 3 || Argv[2][0] == '-')
       usage();
     Opts.Benchmark = Argv[2];
@@ -306,6 +342,8 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Opts.Traces = *M;
       Opts.SawTraceMode = true;
     }
+    else if (Arg == "--socket")
+      Opts.SocketPath = Args.value(Arg);
     else if (Arg == "--save")
       Opts.SavePath = Args.value(Arg);
     else if (Arg == "--out")
@@ -332,9 +370,6 @@ CliOptions parseArgs(int Argc, char **Argv) {
     else
       usageError("unexpected argument '" + Arg + "'");
   }
-  if (!Opts.OutPath.empty() && !emitsJson(Opts.Command))
-    usageError("--out is not supported by the " + Opts.Command +
-               " command (it emits no JSON)");
   if (Opts.Command == "store") {
     // The verb parsed into the benchmark slot; validate it strictly.
     Opts.StoreVerb = Opts.Benchmark;
@@ -344,6 +379,23 @@ CliOptions parseArgs(int Argc, char **Argv) {
       usageError("unknown store verb '" + Opts.StoreVerb +
                  "' (available: ls gc verify)");
   }
+  if (Opts.Command == "client") {
+    if (Opts.ClientVerb != "run" && Opts.ClientVerb != "stats" &&
+        Opts.ClientVerb != "shutdown")
+      usageError("unknown client verb '" + Opts.ClientVerb +
+                 "' (available: run stats shutdown)");
+    if (Opts.ClientVerb != "run" && !Opts.Benchmarks.empty())
+      usageError("client " + Opts.ClientVerb + " takes no benchmarks");
+  }
+  if ((Opts.Command == "serve" || Opts.Command == "client") &&
+      Opts.SocketPath.empty())
+    usageError(Opts.Command + " needs --socket PATH");
+  if (!Opts.SocketPath.empty() && Opts.Command != "serve" &&
+      Opts.Command != "client")
+    usageError("--socket is only valid with the serve and client commands");
+  if (!Opts.OutPath.empty() && !emitsJson(Opts))
+    usageError("--out is not supported by the " + Opts.Command +
+               " command (it emits no JSON)");
   if (Opts.SawReplayMode && Opts.Command != "baseline" &&
       Opts.Command != "run" && Opts.Command != "hds" &&
       Opts.Command != "sweep" && Opts.Command != "experiments")
@@ -351,9 +403,10 @@ CliOptions parseArgs(int Argc, char **Argv) {
                "(baseline run hds sweep experiments)");
   if (Opts.SawTraceMode && Opts.Command != "baseline" &&
       Opts.Command != "run" && Opts.Command != "hds" &&
-      Opts.Command != "sweep" && Opts.Command != "experiments")
+      Opts.Command != "sweep" && Opts.Command != "experiments" &&
+      Opts.Command != "serve")
     usageError("--trace-mode is only valid with the measuring commands "
-               "(baseline run hds sweep experiments)");
+               "(baseline run hds sweep experiments serve)");
   if (Opts.Command == "trace" && Opts.Benchmark == "info") {
     if (Opts.TraceFile.empty())
       usageError("trace info needs a trace file to inspect");
@@ -368,19 +421,24 @@ CliOptions parseArgs(int Argc, char **Argv) {
   if (!Opts.StoreDir.empty() && Opts.Command != "store" &&
       Opts.Command != "baseline" && Opts.Command != "run" &&
       Opts.Command != "hds" && Opts.Command != "sweep" &&
-      Opts.Command != "experiments")
+      Opts.Command != "experiments" && Opts.Command != "serve")
     usageError("--store-dir is not supported by the " + Opts.Command +
                " command");
-  if (Opts.Command != "experiments") {
+  bool MatrixCommand = Opts.Command == "experiments" ||
+                       (Opts.Command == "client" && Opts.ClientVerb == "run");
+  if (!MatrixCommand) {
     if (!Opts.MachineList.empty())
-      usageError("--machines is only valid with the experiments command "
-                 "(use --machine)");
+      usageError("--machines is only valid with the experiments and "
+                 "client run commands (use --machine)");
     if (!Opts.KindList.empty())
-      usageError("--kinds is only valid with the experiments command");
+      usageError("--kinds is only valid with the experiments and "
+                 "client run commands");
     if (Opts.SawScale)
-      usageError("--scale is only valid with the experiments command");
+      usageError("--scale is only valid with the experiments and "
+                 "client run commands");
     if (Opts.SawSeedBase)
-      usageError("--seed-base is only valid with the experiments command");
+      usageError("--seed-base is only valid with the experiments and "
+                 "client run commands");
   } else if (!Opts.MachineList.empty() && !Opts.Machine.empty()) {
     // --machine would only set the setup machine (which cannot affect
     // the machine-independent artifacts) while --machines names the
@@ -629,6 +687,18 @@ int runExperiments(const CliOptions &Opts) {
   return 0;
 }
 
+/// Minimal JSON string escaping for file names and store labels.
+std::string jsonEscaped(const std::string &Text) {
+  std::string Escaped;
+  Escaped.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Escaped += '\\';
+    Escaped += C;
+  }
+  return Escaped;
+}
+
 int runStore(const CliOptions &Opts) {
   // The store commands refuse to guess a directory: inspecting or
   // collecting "no store" is always a mistake.
@@ -665,6 +735,28 @@ int runStore(const CliOptions &Opts) {
                 (Entries.size() == 1 ? "y" : "ies") + ", " +
                 std::to_string(Invalid) + " invalid");
   Table.print();
+  if (Opts.StoreVerb == "ls" && !Opts.OutPath.empty()) {
+    // The machine-readable listing, through the same tmp+rename output
+    // path every JSON-emitting subcommand uses.
+    FILE *Out = openOutput(Opts.OutPath);
+    std::fprintf(Out, "[\n");
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      const ArtifactStore::Entry &E = Entries[I];
+      std::fprintf(Out,
+                   "  {\"file\": \"%s\", \"type\": \"%s\", \"label\": "
+                   "\"%s\", \"payload_bytes\": %llu, \"valid\": %s, "
+                   "\"problem\": \"%s\"}%s\n",
+                   jsonEscaped(E.File).c_str(), artifactTypeName(E.Type),
+                   jsonEscaped(E.Label).c_str(),
+                   (unsigned long long)E.PayloadSize,
+                   E.Valid ? "true" : "false",
+                   jsonEscaped(E.Problem).c_str(),
+                   I + 1 < Entries.size() ? "," : "");
+    }
+    std::fprintf(Out, "]\n");
+    closeOutput(Out, Opts.OutPath,
+                " (" + std::to_string(Entries.size()) + " entries)");
+  }
   if (Opts.StoreVerb == "verify" && Invalid) {
     std::fprintf(stderr,
                  "halo_cli: store verify: %zu corrupt entr%s (run "
@@ -805,10 +897,147 @@ int runTraceInfo(const CliOptions &Opts) {
   return 0;
 }
 
+int runServe(const CliOptions &Opts) {
+  DaemonConfig Config;
+  Config.SocketPath = Opts.SocketPath;
+  Config.Jobs = Opts.Jobs;
+  Config.Traces = Opts.Traces;
+  Config.StoreDir = Opts.StoreDir;
+  if (Config.StoreDir.empty())
+    if (const char *Env = std::getenv("HALO_STORE"))
+      Config.StoreDir = Env;
+  // Resolve the pool size up front so a malformed HALO_JOBS fails here,
+  // not after the socket is bound.
+  unsigned Workers = resolveJobs(Opts.Jobs);
+  std::string StoreNote =
+      Config.StoreDir.empty() ? std::string(", no store")
+                              : ", store " + Config.StoreDir;
+  std::fprintf(stderr, "halo_cli: serving on %s (%u worker(s)%s)\n",
+               Opts.SocketPath.c_str(), Workers, StoreNote.c_str());
+  HaloDaemon Daemon(Config);
+  int Exit = Daemon.serve();
+  std::fprintf(stderr, "halo_cli: daemon on %s shut down\n",
+               Opts.SocketPath.c_str());
+  return Exit;
+}
+
+int runClientStats(HaloClient &Client, const CliOptions &Opts) {
+  DaemonStats St = Client.stats();
+  Report Table("halo serve on " + Opts.SocketPath);
+  Table.setColumns({"counter", "value"});
+  Table.addRow({"active sessions", std::to_string(St.ActiveSessions)});
+  Table.addRow({"sessions served", std::to_string(St.SessionsServed)});
+  Table.addRow({"plans submitted", std::to_string(St.PlansSubmitted)});
+  Table.addRow({"plans completed", std::to_string(St.PlansCompleted)});
+  Table.addRow({"plans cancelled", std::to_string(St.PlansCancelled)});
+  Table.addRow({"plans failed", std::to_string(St.PlansFailed)});
+  Table.addRow({"cells streamed", std::to_string(St.CellsStreamed)});
+  Table.addRow({"tasks executed", std::to_string(St.TasksExecuted)});
+  Table.addRow({"warm benchmarks", std::to_string(St.WarmBenchmarks)});
+  Table.addNote(std::to_string(St.Workers) + " worker(s), " +
+                (St.HasStore ? "store attached" : "no store"));
+  Table.print();
+  return 0;
+}
+
+int runClient(const CliOptions &Opts) {
+  HaloClient Client(Opts.SocketPath);
+  if (Opts.ClientVerb == "stats")
+    return runClientStats(Client, Opts);
+  if (Opts.ClientVerb == "shutdown") {
+    Client.shutdownServer();
+    std::printf("daemon on %s acknowledged shutdown\n",
+                Opts.SocketPath.c_str());
+    return 0;
+  }
+
+  // client run: the experiments matrix, measured by the daemon. Names are
+  // validated locally first (same registries) so typos fail with the
+  // usage message instead of a protocol round trip.
+  PlanRequest R;
+  R.Benchmarks = benchmarkList(Opts);
+  for (const std::string &Name : Opts.MachineList) {
+    if (Name == "all") {
+      for (const MachineConfig &M : machinePresets())
+        R.Machines.push_back(M.Name);
+      continue;
+    }
+    if (!findMachine(Name))
+      usageError("unknown machine '" + Name + "' in --machines (available: " +
+                 knownMachines() + " all)");
+    R.Machines.push_back(Name);
+  }
+  if (!Opts.KindList.empty()) {
+    R.Kinds.clear();
+    for (const std::string &Name : Opts.KindList) {
+      std::optional<AllocatorKind> Kind = parseAllocatorKind(Name);
+      if (!Kind)
+        usageError("unknown allocator kind '" + Name +
+                   "' in --kinds (available: " + knownKinds() + ")");
+      R.Kinds.push_back(*Kind);
+    }
+  }
+  R.S = Opts.S;
+  R.Trials = Opts.Trials;
+  R.SeedBase = Opts.SeedBase;
+
+  // Open --out before submitting (fail fast on an unwritable path), but
+  // only rename into place for a completed plan -- a cancelled or failed
+  // plan must not overwrite a previous good document with a partial one.
+  FILE *Out = openOutput(Opts.OutPath);
+  uint64_t PlanId = Client.submit(R);
+  PlanOutcome Outcome =
+      Client.wait(PlanId, [&](const CellResultMsg &M) {
+        std::fprintf(stderr, "halo_cli: cell %llu: %s %s %s done\n",
+                     (unsigned long long)M.CellIndex, M.Key.Benchmark.c_str(),
+                     M.Key.Machine.c_str(), allocatorKindName(M.Key.Kind));
+      });
+
+  if (Outcome.Status != PlanStatus::Ok) {
+    if (Out != stdout) {
+      std::fclose(Out);
+      std::remove((Opts.OutPath + ".tmp").c_str());
+    }
+    if (Outcome.Status == PlanStatus::Failed)
+      std::fprintf(stderr, "halo_cli: plan failed: %s\n",
+                   Outcome.Message.c_str());
+    else
+      std::fprintf(stderr, "halo_cli: plan cancelled (%llu of %llu cells "
+                           "arrived)\n",
+                   (unsigned long long)Outcome.CellsReceived,
+                   (unsigned long long)Outcome.NumCells);
+    return 1;
+  }
+
+  if (Out != stdout) {
+    experimentsReport(Outcome.Results).print();
+    std::printf("served: %llu cell(s) streamed from %s\n",
+                (unsigned long long)Outcome.CellsReceived,
+                Opts.SocketPath.c_str());
+  }
+  writeExperimentsJson(Out, Outcome.Results);
+  closeOutput(Out, Opts.OutPath,
+              " (" + std::to_string(Outcome.Results.size()) + " cells)");
+  return 0;
+}
+
 } // namespace
+
+static int runMain(const CliOptions &Opts);
 
 int main(int Argc, char **Argv) {
   CliOptions Opts = parseArgs(Argc, Argv);
+  try {
+    return runMain(Opts);
+  } catch (const std::exception &E) {
+    // One catch for everything the library throws past a subcommand:
+    // connection failures, protocol errors, a malformed HALO_JOBS.
+    std::fprintf(stderr, "halo_cli: error: %s\n", E.what());
+    return 1;
+  }
+}
+
+static int runMain(const CliOptions &Opts) {
   if (Opts.Command == "machines")
     return runMachines();
   if (Opts.Command == "plot")
@@ -819,6 +1048,10 @@ int main(int Argc, char **Argv) {
     return runExperiments(Opts);
   if (Opts.Command == "store")
     return runStore(Opts);
+  if (Opts.Command == "serve")
+    return runServe(Opts);
+  if (Opts.Command == "client")
+    return runClient(Opts);
   if (Opts.Command == "trace" && Opts.Benchmark == "info")
     return runTraceInfo(Opts);
 

@@ -48,6 +48,12 @@ Evaluation::Evaluation(BenchmarkSetup SetupIn) : Setup(std::move(SetupIn)) {
 }
 
 const HaloArtifacts &Evaluation::haloArtifacts(Executor *GroupPool) {
+  // One mutex per artifact kind: concurrent plans sharing this Evaluation
+  // (the serve daemon's steady state) materialise once and the losers
+  // wait, while the HALO and HDS pipelines still profile in parallel
+  // (prepareAllArtifacts runs them as two tasks). Lock order is artifact
+  // mutex before TraceMutex (via trace()), nowhere the reverse.
+  std::lock_guard<std::mutex> Lock(HaloArtMutex);
   if (!HaloArt)
     HaloArt = optimizeBinary(Prog,
                              trace(Setup.ProfileScale, Setup.ProfileSeed),
@@ -56,6 +62,7 @@ const HaloArtifacts &Evaluation::haloArtifacts(Executor *GroupPool) {
 }
 
 const HdsArtifacts &Evaluation::hdsArtifacts() {
+  std::lock_guard<std::mutex> Lock(HdsArtMutex);
   if (!HdsArt)
     HdsArt = optimizeBinaryHds(Prog,
                                trace(Setup.ProfileScale, Setup.ProfileSeed),
@@ -175,7 +182,7 @@ const MappedTrace &Evaluation::addMappedTrace(Scale S, uint64_t Seed,
 }
 
 bool Evaluation::usesMappedReplay(Scale S, uint64_t Seed) {
-  switch (Mode) {
+  switch (Mode.load(std::memory_order_relaxed)) {
   case TraceMode::Memory:
     return false;
   case TraceMode::Mapped:
@@ -197,11 +204,13 @@ void Evaluation::obtainTrace(Scale S, uint64_t Seed) {
 }
 
 void Evaluation::setHaloArtifacts(HaloArtifacts Art) {
+  std::lock_guard<std::mutex> Lock(HaloArtMutex);
   if (!HaloArt)
     HaloArt = std::move(Art);
 }
 
 void Evaluation::setHdsArtifacts(HdsArtifacts Art) {
+  std::lock_guard<std::mutex> Lock(HdsArtMutex);
   if (!HdsArt)
     HdsArt = std::move(Art);
 }

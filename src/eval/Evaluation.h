@@ -26,6 +26,7 @@
 #include "trace/TraceFile.h"
 #include "workloads/Workload.h"
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -129,8 +130,14 @@ public:
   /// entries) and in RAM otherwise. Profiling always uses the in-RAM
   /// trace: profile inputs are test-scale and the pipelines replay them
   /// through observers.
-  void setTraceMode(TraceMode M) { Mode = M; }
-  TraceMode traceMode() const { return Mode; }
+  /// The mode is atomic so concurrent plans sharing this Evaluation (the
+  /// serve daemon's steady state) read it safely; plans that disagree on
+  /// the mode race benignly (every mode measures bit-identically) but
+  /// the daemon pins one mode for all requests anyway.
+  void setTraceMode(TraceMode M) { Mode.store(M, std::memory_order_relaxed); }
+  TraceMode traceMode() const {
+    return Mode.load(std::memory_order_relaxed);
+  }
 
   /// Records (once) the workload run for (\p S, \p Seed) streaming to a
   /// private temp file and returns it mapped. The file is unlinked as soon
@@ -155,14 +162,21 @@ public:
   void recordTraceFile(Scale S, uint64_t Seed, const std::string &Path);
 
   /// Whether the pipeline artifacts are already materialised (loaded or
-  /// profiled). Not synchronised: call only when no task may be
-  /// materialising them concurrently (plan stages guarantee this).
-  bool hasHaloArtifacts() const { return HaloArt.has_value(); }
-  bool hasHdsArtifacts() const { return HdsArt.has_value(); }
+  /// profiled). Thread-safe: each artifact kind is guarded by its own
+  /// mutex, so concurrent plans sharing this Evaluation (the serve
+  /// daemon's steady state) materialise once and the losers wait.
+  bool hasHaloArtifacts() const {
+    std::lock_guard<std::mutex> Lock(HaloArtMutex);
+    return HaloArt.has_value();
+  }
+  bool hasHdsArtifacts() const {
+    std::lock_guard<std::mutex> Lock(HdsArtMutex);
+    return HdsArt.has_value();
+  }
 
   /// Installs externally obtained pipeline artifacts (the store's warm
-  /// path); no-op if already materialised. Same synchronisation contract
-  /// as haloArtifacts()/hdsArtifacts(): one task per artifact kind.
+  /// path); no-op if already materialised. Thread-safe, first writer
+  /// wins, exactly like addTrace().
   void setHaloArtifacts(HaloArtifacts Art);
   void setHdsArtifacts(HdsArtifacts Art);
 
@@ -254,7 +268,12 @@ private:
   Program Prog;
   std::optional<HaloArtifacts> HaloArt;
   std::optional<HdsArtifacts> HdsArt;
-  TraceMode Mode = TraceMode::Memory;
+  /// One mutex per artifact kind, so the two pipelines still profile in
+  /// parallel. Lock order: artifact mutex before TraceMutex (the lazy
+  /// materialisation replays the profile trace); never the reverse.
+  mutable std::mutex HaloArtMutex;
+  mutable std::mutex HdsArtMutex;
+  std::atomic<TraceMode> Mode{TraceMode::Memory};
   /// (scale, seed) -> recorded trace. std::map for reference stability.
   std::map<std::pair<int, uint64_t>, EventTrace> Traces;
   /// (scale, seed) -> mapped on-disk trace, same keying and stability.

@@ -246,19 +246,26 @@ ExperimentPlan halo::buildPlan(const std::vector<ExperimentSpec> &Specs,
 }
 
 //===----------------------------------------------------------------------===//
-// runPlan
+// PlanExecution
 //===----------------------------------------------------------------------===//
 
-ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode,
-                        TraceMode Traces) {
+ResultSet ResultSet::fromCells(std::vector<Cell> CellsIn) {
+  ResultSet Results;
+  Results.Cells = std::move(CellsIn);
+  return Results;
+}
+
+PlanExecution::PlanExecution(ExperimentPlan &PlanIn, TraceMode TracesIn,
+                             CellCompletionFn OnCellIn)
+    : Plan(PlanIn), Traces(TracesIn), OnCell(std::move(OnCellIn)) {
   // Every benchmark's Evaluation measures under the plan's trace mode
   // (Auto resolves per key: mapped exactly where a mapped trace was
-  // seeded below).
+  // seeded by the recording tasks).
   for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks)
     B.Eval->setTraceMode(Traces);
 
-  ResultSet Results;
   Results.Cells.resize(Plan.Cells.size());
+  CellsRemaining.resize(Plan.Cells.size(), 0);
   for (size_t C = 0; C < Plan.Cells.size(); ++C) {
     const ExperimentPlan::Cell &PC = Plan.Cells[C];
     const ExperimentPlan::Benchmark &B = Plan.Benchmarks[PC.Bench];
@@ -271,14 +278,109 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode,
     RC.Key.SeedBase = PC.SeedBase;
     RC.Key.Trials = PC.Trials;
     RC.Runs.resize(static_cast<size_t>(PC.Trials));
+    CellsRemaining[C] = PC.Trials;
   }
 
-  // One pool drives all four stages; the stage task lists are flat across
-  // every benchmark and machine, so a mixed sweep fills the pool at cell
-  // granularity instead of sharding along a single axis.
-  Executor Pool(Jobs);
-  ArtifactStore *Store = Plan.Store;
+  // Stage 0: profile recordings (the input both pipelines profile). A
+  // benchmark whose needed artifact bundles are all stored skips its
+  // profile trace entirely -- the warm path never replays it.
+  for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks)
+    if ((B.NeedsHalo && !B.HaloStored) || (B.NeedsHds && !B.HdsStored)) {
+      TaskData T;
+      T.Stage = 0;
+      T.B = &B;
+      T.Stored = B.ProfileStored;
+      Tasks.push_back(T);
+    }
+  StageEnd[0] = Tasks.size();
 
+  // Stage 1: pipeline artifacts, two independent tasks per benchmark --
+  // each either a store load or a cold materialise-and-publish. A corrupt
+  // stored bundle falls back to materialising, which (via Evaluation's
+  // lazy trace()) records the profile trace inline if stage 0 skipped it.
+  for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks) {
+    if (B.NeedsHalo) {
+      TaskData T;
+      T.Stage = 1;
+      T.B = &B;
+      T.Halo = true;
+      T.Stored = B.HaloStored;
+      Tasks.push_back(T);
+    }
+    if (B.NeedsHds) {
+      TaskData T;
+      T.Stage = 1;
+      T.B = &B;
+      T.Halo = false;
+      T.Stored = B.HdsStored;
+      Tasks.push_back(T);
+    }
+  }
+  StageEnd[1] = Tasks.size();
+
+  // Stage 2: measurement recordings -- the expensive half of a sweep --
+  // deduplicated per benchmark, flat across all benchmarks at once.
+  // Store hits load instead of recording.
+  for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks) {
+    for (const std::pair<Scale, uint64_t> &R : B.Recordings) {
+      TaskData T;
+      T.Stage = 2;
+      T.B = &B;
+      T.S = R.first;
+      T.Seed = R.second;
+      T.Stored = false;
+      Tasks.push_back(T);
+    }
+    for (const std::pair<Scale, uint64_t> &R : B.StoredRecordings) {
+      TaskData T;
+      T.Stage = 2;
+      T.B = &B;
+      T.S = R.first;
+      T.Seed = R.second;
+      T.Stored = true;
+      Tasks.push_back(T);
+    }
+  }
+  StageEnd[2] = Tasks.size();
+
+  // Stage 3: replays, one task per (cell, trial). Every trace and
+  // artifact is cached by then, so tasks only read shared state; slot
+  // (C, T) always holds seed SeedBase + T, making the ResultSet
+  // bit-identical to a serial run no matter the interleaving.
+  for (size_t C = 0; C < Plan.Cells.size(); ++C)
+    for (int Trial = 0; Trial < Plan.Cells[C].Trials; ++Trial) {
+      TaskData T;
+      T.Stage = 3;
+      T.Cell = C;
+      T.Trial = Trial;
+      Tasks.push_back(T);
+    }
+  StageEnd[3] = Tasks.size();
+
+  // Zero-trial cells have no replay task to complete them; they are
+  // complete (empty) from the start.
+  if (OnCell)
+    for (size_t C = 0; C < CellsRemaining.size(); ++C)
+      if (CellsRemaining[C] == 0)
+        OnCell(C, Results.Cells[C]);
+}
+
+std::optional<size_t> PlanExecution::next() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (CancelFlag || FailFlag)
+    return std::nullopt;
+  // The current stage is the first whose tasks have not all retired; its
+  // unclaimed tasks are runnable, later stages wait behind the barrier.
+  unsigned Stage = 0;
+  while (Stage < 4 && Retired >= StageEnd[Stage])
+    ++Stage;
+  if (Stage == 4 || NextTask >= StageEnd[Stage])
+    return std::nullopt;
+  return NextTask++;
+}
+
+void PlanExecution::obtainTrace(const ExperimentPlan::Benchmark &B, Scale S,
+                                uint64_t Seed, bool Stored, bool Profile) {
   // Loads a stored trace into the cache, or records it cold (publishing
   // to the store when one is attached). A stored entry that vanished or
   // decodes corrupt between buildPlan and here demotes to the cold path
@@ -286,214 +388,251 @@ ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode,
   // failing. Either way the cached trace is byte-identical to a fresh
   // recording, keeping warm results bit-identical to cold ones.
   //
-  // Profile recordings (\p Profile) always take the in-RAM path: the
-  // pipelines replay them through observers, and profile inputs are
-  // test-scale. Measurement recordings follow the plan's trace mode.
-  auto ObtainTrace = [&](const ExperimentPlan::Benchmark &B, Scale S,
-                         uint64_t Seed, bool Stored, bool Profile) {
-    Evaluation &E = *B.Eval;
-    TraceMode M = Profile ? TraceMode::Memory : Traces;
-    StoreKey Key;
-    if (Store)
-      Key = traceStoreKey(B.Name, S, Seed);
+  // Profile recordings always take the in-RAM path: the pipelines replay
+  // them through observers, and profile inputs are test-scale.
+  // Measurement recordings follow the plan's trace mode.
+  ArtifactStore *Store = Plan.Store;
+  Evaluation &E = *B.Eval;
+  TraceMode M = Profile ? TraceMode::Memory : Traces;
+  StoreKey Key;
+  if (Store)
+    Key = traceStoreKey(B.Name, S, Seed);
 
-    if (M == TraceMode::Mapped) {
-      if (E.hasMappedTrace(S, Seed))
+  if (M == TraceMode::Mapped) {
+    if (E.hasMappedTrace(S, Seed))
+      return;
+    if (Store && Stored) {
+      if (std::optional<MappedTrace> Mapped = openMappedTrace(*Store, Key)) {
+        E.addMappedTrace(S, Seed, std::move(*Mapped));
         return;
-      if (Store && Stored) {
-        if (std::optional<MappedTrace> Mapped = openMappedTrace(*Store, Key)) {
+      }
+    }
+    if (Store) {
+      // Cold with a store: record streaming into the store directory,
+      // publish atomically, then map the published entry zero-copy --
+      // the trace's bytes exist on disk exactly once. The "tmp." name
+      // keeps a crashed recorder's leftovers visible to `store gc`.
+      std::string Temp = Store->dir() + "/tmp.rec." + hashHex(Key.Hash) +
+                         "." + std::to_string(::getpid());
+      E.recordTraceFile(S, Seed, Temp);
+      bool Published = putTraceFile(*Store, Key, Temp);
+      ::unlink(Temp.c_str());
+      if (Published) {
+        if (std::optional<MappedTrace> Mapped =
+                openMappedTrace(*Store, Key)) {
           E.addMappedTrace(S, Seed, std::move(*Mapped));
           return;
         }
       }
-      if (Store) {
-        // Cold with a store: record streaming into the store directory,
-        // publish atomically, then map the published entry zero-copy --
-        // the trace's bytes exist on disk exactly once. The "tmp." name
-        // keeps a crashed recorder's leftovers visible to `store gc`.
-        std::string Temp = Store->dir() + "/tmp.rec." + hashHex(Key.Hash) +
-                           "." + std::to_string(::getpid());
-        E.recordTraceFile(S, Seed, Temp);
-        bool Published = putTraceFile(*Store, Key, Temp);
-        ::unlink(Temp.c_str());
-        if (Published) {
-          if (std::optional<MappedTrace> Mapped =
-                  openMappedTrace(*Store, Key)) {
-            E.addMappedTrace(S, Seed, std::move(*Mapped));
-            return;
-          }
+    }
+    // No store (or the publish failed): the Evaluation's self-contained
+    // temp-file recording.
+    E.mappedTrace(S, Seed);
+    return;
+  }
+
+  if (Store && Stored && !E.hasTrace(S, Seed) && !E.hasMappedTrace(S, Seed)) {
+    if (M == TraceMode::Auto) {
+      // A stored trace big enough that loading it whole would dominate
+      // the run's footprint opens mapped off its entry instead.
+      if (std::optional<MappedTrace> Mapped = openMappedTrace(*Store, Key))
+        if (Mapped->rawBytes() >= AutoMappedTraceBytes) {
+          E.addMappedTrace(S, Seed, std::move(*Mapped));
+          return;
         }
-      }
-      // No store (or the publish failed): the Evaluation's self-contained
-      // temp-file recording.
-      E.mappedTrace(S, Seed);
+    }
+    if (std::optional<EventTrace> Loaded = getTrace(*Store, Key)) {
+      E.addTrace(S, Seed, std::move(*Loaded));
       return;
     }
+  }
+  const EventTrace &Trace = E.trace(S, Seed);
+  if (Store)
+    putTrace(*Store, Key, Trace);
+}
 
-    if (Store && Stored && !E.hasTrace(S, Seed) && !E.hasMappedTrace(S, Seed)) {
-      if (M == TraceMode::Auto) {
-        // A stored trace big enough that loading it whole would dominate
-        // the run's footprint opens mapped off its entry instead.
-        if (std::optional<MappedTrace> Mapped = openMappedTrace(*Store, Key))
-          if (Mapped->rawBytes() >= AutoMappedTraceBytes) {
-            E.addMappedTrace(S, Seed, std::move(*Mapped));
-            return;
-          }
-      }
-      if (std::optional<EventTrace> Loaded = getTrace(*Store, Key)) {
-        E.addTrace(S, Seed, std::move(*Loaded));
+void PlanExecution::runArtifact(const TaskData &Task, Executor *GroupPool) {
+  ArtifactStore *Store = Plan.Store;
+  Evaluation &E = *Task.B->Eval;
+  const BenchmarkSetup &Setup = E.setup();
+  if (Task.Halo) {
+    StoreKey Key;
+    if (Store)
+      Key = haloStoreKey(Task.B->Name, Setup.ProfileScale, Setup.ProfileSeed,
+                         Setup.Halo);
+    if (Store && Task.Stored && !E.hasHaloArtifacts()) {
+      if (std::optional<HaloArtifacts> Art =
+              getHaloArtifacts(*Store, Key, E.program())) {
+        E.setHaloArtifacts(std::move(*Art));
         return;
       }
     }
-    const EventTrace &Trace = E.trace(S, Seed);
+    const HaloArtifacts &Art = E.haloArtifacts(GroupPool);
     if (Store)
-      putTrace(*Store, Key, Trace);
-  };
-
-  // Stage 1: profile recordings (the input both pipelines profile). A
-  // benchmark whose needed artifact bundles are all stored skips its
-  // profile trace entirely -- the warm path never replays it.
-  struct ProfileTask {
-    const ExperimentPlan::Benchmark *B;
-  };
-  std::vector<ProfileTask> Profiles;
-  for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks)
-    if ((B.NeedsHalo && !B.HaloStored) || (B.NeedsHds && !B.HdsStored))
-      Profiles.push_back({&B});
-  Pool.parallelFor(Profiles.size(), [&](size_t I) {
-    const ExperimentPlan::Benchmark &B = *Profiles[I].B;
-    const BenchmarkSetup &Setup = B.Eval->setup();
-    ObtainTrace(B, Setup.ProfileScale, Setup.ProfileSeed, B.ProfileStored,
-                /*Profile=*/true);
-  });
-
-  // Stage 2: pipeline artifacts, two independent tasks per benchmark --
-  // each either a store load or a cold materialise-and-publish. One task
-  // per artifact kind, so the unsynchronised artifact slots see a single
-  // writer. A corrupt stored bundle falls back to materialising, which
-  // (via Evaluation's lazy trace()) records the profile trace inline if
-  // stage 1 skipped it.
-  struct ArtifactTask {
-    const ExperimentPlan::Benchmark *B;
-    bool Halo;
-    bool Stored;
-  };
-  std::vector<ArtifactTask> Artifacts;
-  for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks) {
-    if (B.NeedsHalo)
-      Artifacts.push_back({&B, true, B.HaloStored});
-    if (B.NeedsHds)
-      Artifacts.push_back({&B, false, B.HdsStored});
-  }
-  // Same axis choice as the replay stage below: when the artifact tasks
-  // alone cannot fill the pool, walk them serially here and hand the pool
-  // to the HALO pipeline's grouping stage instead (buildGroupsParallel;
-  // bit-identical artifacts either way).
-  bool ShardArtifacts =
-      Artifacts.size() < static_cast<size_t>(Pool.workers());
-  auto RunArtifact = [&](const ArtifactTask &Task, Executor *GroupPool) {
-    Evaluation &E = *Task.B->Eval;
-    const BenchmarkSetup &Setup = E.setup();
-    if (Task.Halo) {
-      StoreKey Key;
-      if (Store)
-        Key = haloStoreKey(Task.B->Name, Setup.ProfileScale,
-                           Setup.ProfileSeed, Setup.Halo);
-      if (Store && Task.Stored && !E.hasHaloArtifacts()) {
-        if (std::optional<HaloArtifacts> Art =
-                getHaloArtifacts(*Store, Key, E.program())) {
-          E.setHaloArtifacts(std::move(*Art));
-          return;
-        }
+      putHaloArtifacts(*Store, Key, Art);
+  } else {
+    StoreKey Key;
+    if (Store)
+      Key = hdsStoreKey(Task.B->Name, Setup.ProfileScale, Setup.ProfileSeed,
+                        Setup.Hds);
+    if (Store && Task.Stored && !E.hasHdsArtifacts()) {
+      if (std::optional<HdsArtifacts> Art = getHdsArtifacts(*Store, Key)) {
+        E.setHdsArtifacts(std::move(*Art));
+        return;
       }
-      const HaloArtifacts &Art = E.haloArtifacts(GroupPool);
-      if (Store)
-        putHaloArtifacts(*Store, Key, Art);
-    } else {
-      StoreKey Key;
-      if (Store)
-        Key = hdsStoreKey(Task.B->Name, Setup.ProfileScale, Setup.ProfileSeed,
-                          Setup.Hds);
-      if (Store && Task.Stored && !E.hasHdsArtifacts()) {
-        if (std::optional<HdsArtifacts> Art = getHdsArtifacts(*Store, Key)) {
-          E.setHdsArtifacts(std::move(*Art));
-          return;
-        }
-      }
-      const HdsArtifacts &Art = E.hdsArtifacts();
-      if (Store)
-        putHdsArtifacts(*Store, Key, Art);
     }
-  };
-  if (ShardArtifacts) {
-    for (const ArtifactTask &Task : Artifacts)
-      RunArtifact(Task, &Pool);
-  } else {
-    Pool.parallelFor(Artifacts.size(),
-                     [&](size_t I) { RunArtifact(Artifacts[I], nullptr); });
+    const HdsArtifacts &Art = E.hdsArtifacts();
+    if (Store)
+      putHdsArtifacts(*Store, Key, Art);
   }
+}
 
-  // Stage 3: measurement recordings -- the expensive half of a sweep --
-  // deduplicated per benchmark, fanned out across all benchmarks at once.
-  // Store hits load instead of recording.
-  struct RecordTask {
-    const ExperimentPlan::Benchmark *B;
-    Scale S;
-    uint64_t Seed;
-    bool Stored;
-  };
-  std::vector<RecordTask> Recordings;
-  for (const ExperimentPlan::Benchmark &B : Plan.Benchmarks) {
-    for (const std::pair<Scale, uint64_t> &R : B.Recordings)
-      Recordings.push_back({&B, R.first, R.second, false});
-    for (const std::pair<Scale, uint64_t> &R : B.StoredRecordings)
-      Recordings.push_back({&B, R.first, R.second, true});
-  }
-  Pool.parallelFor(Recordings.size(), [&](size_t I) {
-    const RecordTask &Task = Recordings[I];
-    ObtainTrace(*Task.B, Task.S, Task.Seed, Task.Stored, /*Profile=*/false);
-  });
+void PlanExecution::runReplay(const TaskData &Task, Executor *ShardPool) {
+  const ExperimentPlan::Cell &PC = Plan.Cells[Task.Cell];
+  Evaluation &E = *Plan.Benchmarks[PC.Bench].Eval;
+  uint64_t Seed = PC.SeedBase + static_cast<uint64_t>(Task.Trial);
+  const MachineConfig &M = PC.Machine ? *PC.Machine : E.setup().Machine;
+  Results.Cells[Task.Cell].Runs[static_cast<size_t>(Task.Trial)] =
+      E.measure(M, PC.Kind, PC.S, Seed, ShardPool);
+}
 
-  // Stage 4: replays, one task per (cell, trial). Every trace and
-  // artifact is already cached, so tasks only read shared state; slot
-  // (C, T) always holds seed SeedBase + T, making the ResultSet
-  // bit-identical to a serial run no matter the interleaving.
-  struct ReplayTask {
-    size_t Cell;
-    int Trial;
-  };
-  std::vector<ReplayTask> Replays;
-  Replays.reserve(Plan.numReplays());
-  for (size_t C = 0; C < Plan.Cells.size(); ++C)
-    for (int T = 0; T < Plan.Cells[C].Trials; ++T)
-      Replays.push_back({C, T});
-  // The pool runs one batch at a time (a nested parallelFor inlines
-  // serially), so the stage commits to one parallel axis: across tasks
-  // with serial replays, or across shards within each trace with the
-  // tasks walked serially here. Auto shards within traces exactly when
-  // the task list alone would leave workers idle -- the 1x1x1 plans
-  // behind halo_cli run/baseline/hds are the motivating case. Either
-  // axis fills slot (C, T) with the same deterministic value.
-  bool ShardWithin = Mode == ReplayMode::Sharded ||
-                     (Mode == ReplayMode::Auto &&
-                      Replays.size() < static_cast<size_t>(Pool.workers()));
-  auto RunReplay = [&](const ReplayTask &Task, Executor *ShardPool) {
-    const ExperimentPlan::Cell &PC = Plan.Cells[Task.Cell];
-    Evaluation &E = *Plan.Benchmarks[PC.Bench].Eval;
-    uint64_t Seed = PC.SeedBase + static_cast<uint64_t>(Task.Trial);
-    const MachineConfig &M =
-        PC.Machine ? *PC.Machine : E.setup().Machine;
-    Results.Cells[Task.Cell].Runs[static_cast<size_t>(Task.Trial)] =
-        E.measure(M, PC.Kind, PC.S, Seed, ShardPool);
-  };
-  if (ShardWithin) {
-    for (const ReplayTask &Task : Replays)
-      RunReplay(Task, &Pool);
-  } else {
-    Pool.parallelFor(Replays.size(),
-                     [&](size_t I) { RunReplay(Replays[I], nullptr); });
+void PlanExecution::execute(const TaskData &T, Executor *NestedPool) {
+  switch (T.Stage) {
+  case 0: {
+    const BenchmarkSetup &Setup = T.B->Eval->setup();
+    obtainTrace(*T.B, Setup.ProfileScale, Setup.ProfileSeed, T.Stored,
+                /*Profile=*/true);
+    break;
   }
-  return Results;
+  case 1:
+    runArtifact(T, NestedPool);
+    break;
+  case 2:
+    obtainTrace(*T.B, T.S, T.Seed, T.Stored, /*Profile=*/false);
+    break;
+  default:
+    runReplay(T, NestedPool);
+    break;
+  }
+}
+
+void PlanExecution::run(size_t Task, Executor *NestedPool) {
+  const TaskData &T = Tasks[Task];
+  try {
+    execute(T, NestedPool);
+    if (T.Stage == 3) {
+      bool CellDone;
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        CellDone = --CellsRemaining[T.Cell] == 0;
+      }
+      // Fired from the finishing worker, outside the claim lock; the
+      // cell's slots are all written, so the reference is stable. A
+      // throwing callback fails this task like any other error.
+      if (CellDone && OnCell)
+        OnCell(T.Cell, Results.Cells[T.Cell]);
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      FailFlag = true;
+      if (!FirstError)
+        FirstError = std::current_exception();
+      ++Retired;
+    }
+    throw;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Retired;
+}
+
+void PlanExecution::cancel() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  CancelFlag = true;
+}
+
+bool PlanExecution::cancelled() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return CancelFlag;
+}
+
+bool PlanExecution::failed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return FailFlag;
+}
+
+std::string PlanExecution::failureMessage() const {
+  std::exception_ptr Error;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Error = FirstError;
+  }
+  if (!Error)
+    return "";
+  try {
+    std::rethrow_exception(Error);
+  } catch (const std::exception &E) {
+    return E.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+bool PlanExecution::finished() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Retired == Tasks.size())
+    return true;
+  // Cancelled or failed: done once the already-claimed tasks drain.
+  return (CancelFlag || FailFlag) && Retired == NextTask;
+}
+
+//===----------------------------------------------------------------------===//
+// runPlan
+//===----------------------------------------------------------------------===//
+
+ResultSet halo::runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode,
+                        TraceMode Traces, CellCompletionFn OnCell) {
+  PlanExecution Exec(Plan, Traces, std::move(OnCell));
+  // One pool drives all four stages; the stage task lists are flat across
+  // every benchmark and machine, so a mixed sweep fills the pool at cell
+  // granularity instead of sharding along a single axis.
+  Executor Pool(Jobs);
+  for (;;) {
+    // Nothing is in flight between batches, so next() drains exactly one
+    // whole stage per iteration (the barrier admits no more).
+    std::vector<size_t> Batch;
+    while (std::optional<size_t> T = Exec.next())
+      Batch.push_back(*T);
+    if (Batch.empty())
+      break;
+    unsigned Stage = Exec.stage(Batch.front());
+
+    // The pool runs one batch at a time (a nested parallelFor inlines
+    // serially), so each stage commits to one parallel axis: across its
+    // tasks, or within each task with the list walked serially here.
+    // The artifact stage hands the pool to the HALO pipeline's grouping
+    // (buildGroupsParallel) when its tasks alone cannot fill it; the
+    // replay stage shards within each trace under ReplayMode::Sharded,
+    // or in Auto exactly when the task list would leave workers idle --
+    // the 1x1x1 plans behind halo_cli run/baseline/hds being the
+    // motivating case. Either axis yields bit-identical results.
+    bool WalkSerially = false;
+    if (Stage == 1)
+      WalkSerially = Batch.size() < static_cast<size_t>(Pool.workers());
+    else if (Stage == 3)
+      WalkSerially =
+          Mode == ReplayMode::Sharded ||
+          (Mode == ReplayMode::Auto &&
+           Batch.size() < static_cast<size_t>(Pool.workers()));
+    if (WalkSerially) {
+      for (size_t T : Batch)
+        Exec.run(T, &Pool);
+    } else {
+      Pool.parallelFor(Batch.size(),
+                       [&](size_t I) { Exec.run(Batch[I], nullptr); });
+    }
+  }
+  return Exec.take();
 }
 
 //===----------------------------------------------------------------------===//

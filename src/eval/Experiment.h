@@ -38,8 +38,10 @@
 #include "runtime/ShardedReplay.h"
 
 #include <cstdio>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -124,9 +126,17 @@ public:
                    std::optional<uint64_t> SeedBase = std::nullopt,
                    std::optional<int> Trials = std::nullopt) const;
 
+  /// Reassembles a ResultSet from externally produced cells, in the order
+  /// given -- the serve client's path: cells streamed through the daemon
+  /// come back byte-identical to a local runPlan once ordered by their
+  /// plan cell index. Unlike plan-produced sets, Machine pointers here
+  /// are whatever the caller resolved (findMachine on the key's name) and
+  /// may be null for machines this process has no config for; the
+  /// emitters only read the Key.
+  static ResultSet fromCells(std::vector<Cell> Cells);
+
 private:
-  friend ResultSet runPlan(class ExperimentPlan &Plan, int Jobs,
-                           ReplayMode Mode, TraceMode Traces);
+  friend class PlanExecution;
   std::vector<Cell> Cells;
 };
 
@@ -193,8 +203,7 @@ private:
   friend ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
                                   const std::vector<Evaluation *> &External,
                                   ArtifactStore *Store);
-  friend ResultSet runPlan(ExperimentPlan &Plan, int Jobs, ReplayMode Mode,
-                           TraceMode Traces);
+  friend class PlanExecution;
   std::vector<Benchmark> Benchmarks;
   std::vector<Cell> Cells;
   std::vector<std::unique_ptr<Evaluation>> Owned;
@@ -218,6 +227,118 @@ private:
 ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
                          const std::vector<Evaluation *> &External = {},
                          ArtifactStore *Store = nullptr);
+
+/// Invoked as soon as every trial of one cell has been measured (from
+/// whichever worker thread finished the cell's last replay): the index is
+/// the cell's position in ExperimentPlan::cells() order, the reference is
+/// into the eventual ResultSet and stays valid until take()/return. This
+/// is how serve streams per-cell results while the plan is still running,
+/// on the same execution path a local runPlan takes. Callbacks must be
+/// thread-safe; a throwing callback fails its cell's task.
+using CellCompletionFn =
+    std::function<void(size_t CellIndex, const ResultSet::Cell &Cell)>;
+
+/// One plan's work flattened into claimable tasks with stage barriers:
+/// the execution engine under runPlan, and the unit the serve daemon's
+/// scheduler multiplexes -- many PlanExecutions, one shared pool, tasks
+/// interleaved fairly across clients. Scheduling *policy* stays with the
+/// callers; this class owns only what a task does and when it is legal
+/// to start (ROADMAP: no bespoke scheduling semantics outside the plan
+/// scheduler).
+///
+/// The tasks are the same four stages runPlan always ran -- profile
+/// recordings, pipeline artifacts, measurement recordings, replays --
+/// and next() enforces the stage barrier: a task of stage k becomes
+/// claimable only once every task of stages < k retired. Distinct tasks
+/// of one stage are safe to run from concurrent threads (the trace and
+/// artifact caches synchronise; each replay writes only its own slot),
+/// and every interleaving yields bit-identical results because every
+/// value is a deterministic function of its task's key.
+class PlanExecution {
+public:
+  /// Binds to \p Plan, which must outlive this object and not move (and
+  /// must not back a second concurrent PlanExecution: claim state lives
+  /// here but results accumulate per plan). Sets every benchmark's trace
+  /// mode to \p Traces. \p OnCell fires immediately (on this thread) for
+  /// degenerate zero-trial cells.
+  explicit PlanExecution(ExperimentPlan &Plan,
+                         TraceMode Traces = TraceMode::Auto,
+                         CellCompletionFn OnCell = nullptr);
+
+  size_t numTasks() const { return Tasks.size(); }
+
+  /// The stage of task \p Task: 0 profile recordings, 1 pipeline
+  /// artifacts, 2 measurement recordings, 3 replays.
+  unsigned stage(size_t Task) const { return Tasks[Task].Stage; }
+
+  /// Claims the next runnable task id, in deterministic ascending order;
+  /// std::nullopt when nothing is runnable *right now* -- the plan
+  /// finished, was cancelled or failed, or the current stage's remaining
+  /// tasks are all claimed elsewhere (in which case more may become
+  /// runnable once they retire). Thread-safe.
+  std::optional<size_t> next();
+
+  /// Runs one claimed task. \p NestedPool, when non-null, is handed to
+  /// the work that can use a pool internally -- the artifact stage's
+  /// grouping (haloArtifacts' GroupPool) and the replay stage's sharding
+  /// (measure's ShardPool) -- for drivers that walk tasks serially and
+  /// parallelise within them instead. A throwing task marks the whole
+  /// plan failed (remaining tasks are abandoned) and rethrows; claimed
+  /// tasks always retire, success or not.
+  void run(size_t Task, Executor *NestedPool = nullptr);
+
+  /// Stops handing out tasks; claimed ones finish normally. Idempotent.
+  void cancel();
+
+  bool cancelled() const;
+  bool failed() const;
+  /// The first task failure's text ("" while !failed()).
+  std::string failureMessage() const;
+
+  /// True once no task will ever run again: everything retired, or the
+  /// plan was cancelled/failed and every claimed task has retired.
+  bool finished() const;
+
+  /// Moves the results out (call once, after finished()). Cells whose
+  /// replays never ran -- cancelled or failed plans -- keep
+  /// default-constructed RunMetrics in their slots.
+  ResultSet take() { return std::move(Results); }
+
+private:
+  struct TaskData {
+    unsigned Stage = 0;
+    const ExperimentPlan::Benchmark *B = nullptr; ///< Stages 0-2.
+    bool Halo = false;                            ///< Stage 1.
+    bool Stored = false;                          ///< Stages 0-2.
+    Scale S = Scale::Ref;                         ///< Stage 2.
+    uint64_t Seed = 0;                            ///< Stage 2.
+    size_t Cell = 0;                              ///< Stage 3.
+    int Trial = 0;                                ///< Stage 3.
+  };
+
+  void execute(const TaskData &T, Executor *NestedPool);
+  void obtainTrace(const ExperimentPlan::Benchmark &B, Scale S,
+                   uint64_t Seed, bool Stored, bool Profile);
+  void runArtifact(const TaskData &T, Executor *GroupPool);
+  void runReplay(const TaskData &T, Executor *ShardPool);
+
+  ExperimentPlan &Plan;
+  TraceMode Traces;
+  CellCompletionFn OnCell;
+  ResultSet Results;
+  std::vector<TaskData> Tasks;
+  size_t StageEnd[4] = {0, 0, 0, 0}; ///< Cumulative task counts.
+  /// Trials still unmeasured per cell; the task that takes a cell's count
+  /// to zero fires OnCell.
+  std::vector<int> CellsRemaining;
+
+  mutable std::mutex Mu;
+  size_t NextTask = 0; ///< Tasks claimed so far (claims are a prefix).
+  size_t Retired = 0;  ///< Claimed tasks that finished, success or not.
+  bool CancelFlag = false;
+  bool FailFlag = false;
+  std::exception_ptr FirstError;
+};
 
 /// Executes \p Plan on one Executor pool (\p Jobs as resolveJobs()
 /// interprets it) in four stages -- profile recordings, pipeline
@@ -244,9 +365,14 @@ ExperimentPlan buildPlan(const std::vector<ExperimentSpec> &Specs,
 /// that loading them whole would dominate the run's footprint -- those
 /// open mapped straight off their store entry, zero-copy. Results are
 /// bit-identical under every mode ("mapped = in-RAM", README).
+///
+/// \p OnCell, when given, fires as each cell's last trial lands (see
+/// CellCompletionFn) -- the serve daemon's streaming hook; the returned
+/// ResultSet is unchanged by it.
 ResultSet runPlan(ExperimentPlan &Plan, int Jobs = 0,
                   ReplayMode Mode = ReplayMode::Auto,
-                  TraceMode Traces = TraceMode::Auto);
+                  TraceMode Traces = TraceMode::Auto,
+                  CellCompletionFn OnCell = nullptr);
 
 //===----------------------------------------------------------------------===//
 // Shared emitters: the one JSON / table output path.

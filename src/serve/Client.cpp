@@ -1,0 +1,185 @@
+//===- serve/Client.cpp - Client side of halo serve -------------------------===//
+
+#include "serve/Client.h"
+
+#include "sim/Machine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+using namespace halo;
+
+HaloClient::HaloClient(const std::string &SocketPath)
+    : Conn(Socket::connectUnix(SocketPath)) {
+  writeFrame(Conn, MsgType::Hello, encodeHello(ServeProtocolVersion));
+  Frame F = readExpected();
+  if (F.Type == MsgType::Error)
+    throw std::runtime_error("serve: " + decodeError(F.Payload).Message);
+  if (F.Type != MsgType::HelloAck)
+    throw ProtocolError("serve: expected HelloAck");
+  Ack = decodeHelloAck(F.Payload);
+  if (Ack.Version != ServeProtocolVersion)
+    throw std::runtime_error("serve: daemon speaks protocol v" +
+                             std::to_string(Ack.Version) + ", this client v" +
+                             std::to_string(ServeProtocolVersion));
+}
+
+Frame HaloClient::readExpected() {
+  std::optional<Frame> F = readFrame(Conn);
+  if (!F)
+    throw std::runtime_error("serve: daemon closed the connection");
+  return std::move(*F);
+}
+
+uint64_t HaloClient::submit(const PlanRequest &R) {
+  writeFrame(Conn, MsgType::SubmitPlan, encodePlanRequest(R));
+  // Results of earlier still-running plans may arrive between the
+  // submit and its PlanQueued; buffer them for their own wait().
+  for (;;) {
+    Frame F = readExpected();
+    switch (F.Type) {
+    case MsgType::PlanQueued: {
+      PlanQueuedMsg Q = decodePlanQueued(F.Payload);
+      PromisedCells[Q.PlanId] = Q.NumCells;
+      return Q.PlanId;
+    }
+    case MsgType::CellResult: {
+      CellResultMsg M = decodeCellResult(F.Payload);
+      PendingCells[M.PlanId].push_back(std::move(M));
+      break;
+    }
+    case MsgType::PlanDone: {
+      PlanDoneMsg D = decodePlanDone(F.Payload);
+      PendingDone.emplace(D.PlanId, D);
+      break;
+    }
+    case MsgType::Error:
+      throw std::runtime_error("serve: " + decodeError(F.Payload).Message);
+    default:
+      throw ProtocolError("serve: unexpected frame during submit");
+    }
+  }
+}
+
+PlanOutcome HaloClient::wait(uint64_t PlanId, const CellFn &OnCell) {
+  std::vector<CellResultMsg> Cells;
+
+  // Anything that raced in during an earlier submit()/wait() first.
+  auto Buffered = PendingCells.find(PlanId);
+  if (Buffered != PendingCells.end()) {
+    Cells = std::move(Buffered->second);
+    PendingCells.erase(Buffered);
+  }
+  if (OnCell)
+    for (const CellResultMsg &M : Cells)
+      OnCell(M);
+
+  std::optional<PlanDoneMsg> Done;
+  auto BufferedDone = PendingDone.find(PlanId);
+  if (BufferedDone != PendingDone.end()) {
+    Done = BufferedDone->second;
+    PendingDone.erase(BufferedDone);
+  }
+
+  while (!Done) {
+    Frame F = readExpected();
+    switch (F.Type) {
+    case MsgType::CellResult: {
+      CellResultMsg M = decodeCellResult(F.Payload);
+      if (M.PlanId == PlanId) {
+        if (OnCell)
+          OnCell(M);
+        Cells.push_back(std::move(M));
+      } else {
+        PendingCells[M.PlanId].push_back(std::move(M));
+      }
+      break;
+    }
+    case MsgType::PlanDone: {
+      PlanDoneMsg D = decodePlanDone(F.Payload);
+      if (D.PlanId == PlanId)
+        Done = D;
+      else
+        PendingDone.emplace(D.PlanId, D);
+      break;
+    }
+    case MsgType::Error: {
+      ErrorMsg E = decodeError(F.Payload);
+      throw std::runtime_error("serve: " + E.Message);
+    }
+    default:
+      throw ProtocolError("serve: unexpected frame during wait");
+    }
+  }
+
+  // Reassemble in the daemon's plan cell order: completed plans come back
+  // byte-identical to a local runPlan of the same spec.
+  std::sort(Cells.begin(), Cells.end(),
+            [](const CellResultMsg &A, const CellResultMsg &B) {
+              return A.CellIndex < B.CellIndex;
+            });
+  std::vector<ResultSet::Cell> Reassembled;
+  Reassembled.reserve(Cells.size());
+  for (CellResultMsg &M : Cells) {
+    ResultSet::Cell C;
+    C.Key = std::move(M.Key);
+    C.Machine = findMachine(C.Key.Machine);
+    C.Runs = std::move(M.Runs);
+    Reassembled.push_back(std::move(C));
+  }
+
+  PlanOutcome Outcome;
+  Outcome.Status = Done->Status;
+  Outcome.Message = Done->Message;
+  Outcome.CellsReceived = Cells.size();
+  auto Promised = PromisedCells.find(PlanId);
+  if (Promised != PromisedCells.end()) {
+    Outcome.NumCells = Promised->second;
+    PromisedCells.erase(Promised);
+  }
+  Outcome.Results = ResultSet::fromCells(std::move(Reassembled));
+  return Outcome;
+}
+
+void HaloClient::cancel(uint64_t PlanId) {
+  writeFrame(Conn, MsgType::Cancel, encodeCancel(PlanId));
+}
+
+DaemonStats HaloClient::stats() {
+  writeFrame(Conn, MsgType::Stats, {});
+  for (;;) {
+    Frame F = readExpected();
+    if (F.Type == MsgType::StatsReply)
+      return decodeStatsReply(F.Payload);
+    // Cells of still-running plans may interleave with the reply.
+    if (F.Type == MsgType::CellResult) {
+      CellResultMsg M = decodeCellResult(F.Payload);
+      PendingCells[M.PlanId].push_back(std::move(M));
+      continue;
+    }
+    if (F.Type == MsgType::PlanDone) {
+      PlanDoneMsg D = decodePlanDone(F.Payload);
+      PendingDone.emplace(D.PlanId, D);
+      continue;
+    }
+    if (F.Type == MsgType::Error)
+      throw std::runtime_error("serve: " + decodeError(F.Payload).Message);
+    throw ProtocolError("serve: unexpected frame during stats");
+  }
+}
+
+void HaloClient::shutdownServer() {
+  writeFrame(Conn, MsgType::Shutdown, {});
+  for (;;) {
+    Frame F = readExpected();
+    if (F.Type == MsgType::ShutdownAck)
+      return;
+    if (F.Type == MsgType::Error)
+      throw std::runtime_error("serve: " + decodeError(F.Payload).Message);
+    // Drain whatever was still streaming.
+    if (F.Type == MsgType::CellResult || F.Type == MsgType::PlanDone)
+      continue;
+    throw ProtocolError("serve: unexpected frame during shutdown");
+  }
+}

@@ -1,0 +1,29 @@
+//===- serve/Session.cpp - One daemon-side client connection ----------------===//
+
+#include "serve/Session.h"
+
+#include <stdexcept>
+
+using namespace halo;
+
+bool ServeSession::send(MsgType Type, const std::vector<uint8_t> &Payload) {
+  std::lock_guard<std::mutex> Lock(WriteMutex);
+  if (!Alive.load(std::memory_order_acquire))
+    return false;
+  try {
+    writeFrame(Conn, Type, Payload);
+    return true;
+  } catch (const std::runtime_error &) {
+    // The peer hung up mid-stream. Everything still queued for this
+    // session -- later cells, the PlanDone -- drops silently from here on.
+    Alive.store(false, std::memory_order_release);
+    return false;
+  }
+}
+
+bool ServeSession::sendError(uint64_t PlanId, const std::string &Message) {
+  ErrorMsg M;
+  M.PlanId = PlanId;
+  M.Message = Message;
+  return send(MsgType::Error, encodeError(M));
+}

@@ -91,7 +91,15 @@ StoreKey hdsStoreKey(const std::string &Benchmark, Scale ProfileScale,
 
 /// The on-disk store: one flat directory of immutable entries named by
 /// their key hash. All operations are safe to call from concurrent
-/// threads and processes sharing the directory.
+/// threads and processes sharing the directory: the store itself holds
+/// no open descriptors or caches (only the directory path), every
+/// publish is temp-file + atomic rename, and entries are content-keyed,
+/// so a same-key republish writes identical bytes. A long-lived owner
+/// -- the serve daemon keeps one store open for its whole lifetime,
+/// serving every plan from it -- needs no refresh or reopen; and because
+/// rename replaces the directory entry but not the inode, MappedTrace
+/// mappings opened off an entry stay valid even across a concurrent
+/// republish of the same key.
 class ArtifactStore {
 public:
   /// One entry as `store ls` / `store verify` see it.

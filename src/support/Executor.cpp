@@ -3,6 +3,10 @@
 #include "support/Executor.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 using namespace halo;
@@ -20,6 +24,25 @@ thread_local const Executor *ActiveExecutor = nullptr;
 unsigned halo::resolveJobs(int Jobs) {
   if (Jobs > 0)
     return static_cast<unsigned>(Jobs);
+  // Explicit --jobs always wins; only the "pick for me" default consults
+  // HALO_JOBS. The parse is strict -- all digits, in range -- because a
+  // typo silently becoming "hardware concurrency" (or atoi's 0) would be
+  // invisible until a daemon sized its one shared pool wrong.
+  if (const char *Env = std::getenv("HALO_JOBS")) {
+    const std::string Text(Env);
+    bool AllDigits = !Text.empty();
+    for (char C : Text)
+      if (!std::isdigit(static_cast<unsigned char>(C)))
+        AllDigits = false;
+    unsigned long Parsed = AllDigits ? std::strtoul(Text.c_str(), nullptr, 10)
+                                     : 0;
+    if (!AllDigits || Parsed > static_cast<unsigned long>(1u << 20))
+      throw std::invalid_argument(
+          "HALO_JOBS must be a worker count (0 = hardware concurrency), "
+          "got '" + Text + "'");
+    if (Parsed > 0)
+      return static_cast<unsigned>(Parsed);
+  }
   return std::max(1u, std::thread::hardware_concurrency());
 }
 

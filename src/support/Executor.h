@@ -36,10 +36,13 @@
 namespace halo {
 
 /// Resolves a user-facing --jobs value to a worker count: values > 0 are
-/// taken as-is, 0 (the "pick for me" default everywhere, including the
-/// CLI's --jobs flag) means the host's hardware concurrency, and the
-/// result is never less than one. This is the single point that decides
-/// what "default jobs" means.
+/// taken as-is; 0 (the "pick for me" default everywhere, including the
+/// CLI's --jobs flag) consults $HALO_JOBS -- strictly parsed, all digits,
+/// its own 0 meaning hardware concurrency, anything non-numeric a
+/// std::invalid_argument -- and falls back to the host's hardware
+/// concurrency when it is unset. The result is never less than one. This
+/// is the single point that decides what "default jobs" means, so the
+/// daemon and the CLI size their pools identically without a flag.
 unsigned resolveJobs(int Jobs);
 
 /// A fixed pool of worker threads driving index-based parallel loops.

@@ -14,8 +14,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,6 +35,59 @@ TEST(ResolveJobs, ZeroMeansHardwareConcurrencyAndNeverLessThanOne) {
   unsigned Hw = std::thread::hardware_concurrency();
   if (Hw > 0)
     EXPECT_EQ(Resolved, Hw);
+}
+
+namespace {
+
+/// Sets HALO_JOBS for one test and restores the previous state after.
+struct ScopedHaloJobs {
+  explicit ScopedHaloJobs(const char *Value) {
+    const char *Old = ::getenv("HALO_JOBS");
+    if (Old)
+      Saved = Old;
+    if (Value)
+      ::setenv("HALO_JOBS", Value, 1);
+    else
+      ::unsetenv("HALO_JOBS");
+  }
+  ~ScopedHaloJobs() {
+    if (Saved)
+      ::setenv("HALO_JOBS", Saved->c_str(), 1);
+    else
+      ::unsetenv("HALO_JOBS");
+  }
+  std::optional<std::string> Saved;
+};
+
+} // namespace
+
+TEST(ResolveJobs, EnvFallbackUsedOnlyWhenJobsIsZero) {
+  ScopedHaloJobs Env("3");
+  EXPECT_EQ(resolveJobs(0), 3u);
+  // An explicit request always wins over the environment.
+  EXPECT_EQ(resolveJobs(2), 2u);
+}
+
+TEST(ResolveJobs, EnvZeroMeansHardwareConcurrency) {
+  ScopedHaloJobs Env("0");
+  EXPECT_EQ(resolveJobs(0), resolveJobs(0));
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw > 0)
+    EXPECT_EQ(resolveJobs(0), Hw);
+  EXPECT_GE(resolveJobs(0), 1u);
+}
+
+TEST(ResolveJobs, MalformedEnvIsAnErrorNotAGuess) {
+  // Strict parse: anything but a plain decimal worker count throws, so a
+  // typo'd HALO_JOBS can never silently serialise (or oversubscribe) an
+  // evaluation run.
+  for (const char *Bad : {"", "two", "4x", " 4", "4 ", "-1", "1e3",
+                          "99999999999999999999"}) {
+    ScopedHaloJobs Env(Bad);
+    EXPECT_THROW(resolveJobs(0), std::invalid_argument) << "'" << Bad << "'";
+    // Explicit jobs bypass the env entirely, so they still work.
+    EXPECT_EQ(resolveJobs(5), 5u) << "'" << Bad << "'";
+  }
 }
 
 TEST(Executor, ReportsItsWorkerCount) {

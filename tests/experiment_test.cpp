@@ -14,6 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <thread>
+
 using namespace halo;
 
 namespace {
@@ -223,6 +226,118 @@ TEST(RunPlan, ExternalEvaluationBacksItsBenchmark) {
   ASSERT_EQ(Results.cells()[0].Runs.size(), 1u);
   EXPECT_EQ(Again.Cycles, Results.cells()[0].Runs[0].Cycles);
   EXPECT_EQ(Again.Mem.L1Misses, Results.cells()[0].Runs[0].Mem.L1Misses);
+}
+
+TEST(RunPlan, ConcurrentRunPlansMatchTheSerialOracle) {
+  // Two runPlan calls racing in one process -- the serve daemon's steady
+  // state -- must produce exactly what each would serially: the workload
+  // registry, trace caches, and ResultSet writes are all either
+  // thread-confined or locked.
+  ExperimentSpec SpecA = mixedSpec();
+  ExperimentSpec SpecB;
+  SpecB.Benchmarks = {"health"};
+  SpecB.Machines = {preset("mobile")};
+  SpecB.Kinds = {AllocatorKind::Jemalloc, AllocatorKind::Hds};
+  SpecB.S = Scale::Test;
+  SpecB.Trials = 3;
+
+  ExperimentPlan OracleA = buildPlan({SpecA});
+  ResultSet SerialA = runPlan(OracleA, /*Jobs=*/1);
+  ExperimentPlan OracleB = buildPlan({SpecB});
+  ResultSet SerialB = runPlan(OracleB, /*Jobs=*/1);
+
+  ResultSet RacedA, RacedB;
+  std::thread TA([&] {
+    ExperimentPlan Plan = buildPlan({SpecA});
+    RacedA = runPlan(Plan, /*Jobs=*/2);
+  });
+  std::thread TB([&] {
+    ExperimentPlan Plan = buildPlan({SpecB});
+    RacedB = runPlan(Plan, /*Jobs=*/2);
+  });
+  TA.join();
+  TB.join();
+
+  ASSERT_EQ(RacedA.size(), SerialA.size());
+  for (size_t C = 0; C < SerialA.size(); ++C) {
+    SCOPED_TRACE("plan A cell " + std::to_string(C));
+    expectSameRuns(RacedA.cells()[C].Runs, SerialA.cells()[C].Runs);
+  }
+  ASSERT_EQ(RacedB.size(), SerialB.size());
+  for (size_t C = 0; C < SerialB.size(); ++C) {
+    SCOPED_TRACE("plan B cell " + std::to_string(C));
+    expectSameRuns(RacedB.cells()[C].Runs, SerialB.cells()[C].Runs);
+  }
+}
+
+TEST(RunPlan, ConcurrentRunPlansMayShareAnExternalEvaluation) {
+  // Harder still: both racing plans measure through the SAME warm
+  // Evaluation (the daemon's warm cache hands one instance to every
+  // in-flight plan). Its trace and artifact caches are internally locked,
+  // so the race must be invisible in the results.
+  Evaluation Shared(paperSetup("health"));
+  ExperimentSpec SpecA;
+  SpecA.Benchmarks = {"health"};
+  SpecA.Machines = {preset("xeon-w2195")};
+  SpecA.Kinds = {AllocatorKind::Jemalloc, AllocatorKind::Halo};
+  SpecA.S = Scale::Test;
+  SpecA.Trials = 2;
+  ExperimentSpec SpecB = SpecA;
+  SpecB.Machines = {preset("mobile")};
+  SpecB.Kinds = {AllocatorKind::Halo, AllocatorKind::Hds};
+
+  ExperimentPlan OracleA = buildPlan({SpecA});
+  ResultSet SerialA = runPlan(OracleA, /*Jobs=*/1);
+  ExperimentPlan OracleB = buildPlan({SpecB});
+  ResultSet SerialB = runPlan(OracleB, /*Jobs=*/1);
+
+  ResultSet RacedA, RacedB;
+  std::thread TA([&] {
+    ExperimentPlan Plan = buildPlan({SpecA}, {&Shared});
+    RacedA = runPlan(Plan, /*Jobs=*/2);
+  });
+  std::thread TB([&] {
+    ExperimentPlan Plan = buildPlan({SpecB}, {&Shared});
+    RacedB = runPlan(Plan, /*Jobs=*/2);
+  });
+  TA.join();
+  TB.join();
+
+  ASSERT_EQ(RacedA.size(), SerialA.size());
+  for (size_t C = 0; C < SerialA.size(); ++C) {
+    SCOPED_TRACE("plan A cell " + std::to_string(C));
+    expectSameRuns(RacedA.cells()[C].Runs, SerialA.cells()[C].Runs);
+  }
+  ASSERT_EQ(RacedB.size(), SerialB.size());
+  for (size_t C = 0; C < SerialB.size(); ++C) {
+    SCOPED_TRACE("plan B cell " + std::to_string(C));
+    expectSameRuns(RacedB.cells()[C].Runs, SerialB.cells()[C].Runs);
+  }
+}
+
+TEST(RunPlan, OnCellFiresExactlyOncePerCellWithFinalContents) {
+  // The streaming hook serve rides on: every cell announced exactly once,
+  // as soon as its last trial lands, with runs identical to what the
+  // returned ResultSet ends up holding.
+  ExperimentPlan Plan = buildPlan({mixedSpec()});
+  const size_t NumCells = Plan.cells().size();
+  std::mutex Mu;
+  std::vector<int> Fired(NumCells, 0);
+  std::vector<std::vector<RunMetrics>> Seen(NumCells);
+  ResultSet Results = runPlan(
+      Plan, /*Jobs=*/2, ReplayMode::Auto, TraceMode::Auto,
+      [&](size_t Cell, const ResultSet::Cell &C) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        ASSERT_LT(Cell, NumCells);
+        ++Fired[Cell];
+        Seen[Cell] = C.Runs;
+      });
+  ASSERT_EQ(Results.size(), NumCells);
+  for (size_t C = 0; C < NumCells; ++C) {
+    SCOPED_TRACE("cell " + std::to_string(C));
+    EXPECT_EQ(Fired[C], 1);
+    expectSameRuns(Seen[C], Results.cells()[C].Runs);
+  }
 }
 
 TEST(ResultSet, FindLocatesCellsByFullKey) {
